@@ -1,0 +1,131 @@
+// Command ucp-bench reproduces the paper's evaluation: it sweeps benchmark
+// programs over cache configurations and technologies, then renders the
+// requested figure or table of the paper (Figures 3, 4, 5, 7, 8; Tables 1
+// and 2), or everything at once.
+//
+// Usage:
+//
+//	ucp-bench -table 1
+//	ucp-bench -figure 3 -programs fdct,crc -configs k1,k5,k14
+//	ucp-bench -all -out results.txt          # the full 37×36×2 sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ucp/internal/cliutil"
+	"ucp/internal/experiment"
+)
+
+func main() {
+	var (
+		figure   = flag.Int("figure", 0, "render one figure: 3, 4, 5, 7 or 8")
+		table    = flag.Int("table", 0, "render one table: 1 or 2")
+		all      = flag.Bool("all", false, "render every figure (and the headline averages)")
+		programs = flag.String("programs", "all", "comma-separated benchmark subset")
+		configs  = flag.String("configs", "all", "comma-separated configuration subset (k labels)")
+		techs    = flag.String("techs", "all", "comma-separated technology subset")
+		runs     = flag.Int("runs", 3, "average-case executions per measurement")
+		budget   = flag.Int("budget", 0, "optimizer validation budget per cell (0 = default)")
+		progress = flag.Bool("progress", false, "print one line per completed cell to stderr")
+		out      = flag.String("out", "", "also write the report to this file")
+		csvOut   = flag.String("csv", "", "write the raw per-use-case measurements to this CSV file")
+	)
+	flag.Parse()
+
+	if *table != 0 {
+		switch *table {
+		case 1:
+			experiment.Table1(os.Stdout)
+		case 2:
+			experiment.Table2(os.Stdout)
+		default:
+			fmt.Fprintln(os.Stderr, "unknown table; want 1 or 2")
+			os.Exit(2)
+		}
+		return
+	}
+	if *figure == 0 && !*all {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -figure N, -table N or -all")
+		os.Exit(2)
+	}
+
+	progs, err := cliutil.ProgramList(*programs)
+	exitOn(err)
+	cfgs, err := cliutil.ConfigList(*configs)
+	exitOn(err)
+	tns, err := cliutil.TechList(*techs)
+	exitOn(err)
+
+	opts := experiment.Options{
+		Programs:         progs,
+		Configs:          cfgs,
+		Techs:            tns,
+		Runs:             *runs,
+		ValidationBudget: *budget,
+	}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+
+	start := time.Now()
+	suite, err := experiment.Run(opts)
+	exitOn(err)
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		exitOn(err)
+		exitOn(suite.WriteCSV(f))
+		exitOn(f.Close())
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		exitOn(err)
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(w, "ucp-bench: %d use cases in %v\n\n", len(suite.Cells), time.Since(start).Round(time.Second))
+	if *all {
+		suite.Headline(w)
+		fmt.Fprintln(w)
+		suite.Figure3(w)
+		fmt.Fprintln(w)
+		suite.Figure4(w)
+		fmt.Fprintln(w)
+		suite.Figure5(w)
+		fmt.Fprintln(w)
+		suite.Figure7(w)
+		fmt.Fprintln(w)
+		suite.Figure8(w)
+		return
+	}
+	switch *figure {
+	case 3:
+		suite.Figure3(w)
+	case 4:
+		suite.Figure4(w)
+	case 5:
+		suite.Figure5(w)
+	case 7:
+		suite.Figure7(w)
+	case 8:
+		suite.Figure8(w)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown figure; want 3, 4, 5, 7 or 8")
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

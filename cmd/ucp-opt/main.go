@@ -1,0 +1,91 @@
+// Command ucp-opt runs the unlocked-cache prefetching optimization on one
+// benchmark program and reports what it did: insertions, the rejection
+// breakdown of the joint improvement criterion, and the before/after WCET.
+//
+// Usage:
+//
+//	ucp-opt -program fdct -config k5 -tech 45nm [-budget 700] [-dump]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ucp/internal/cache"
+	"ucp/internal/cliutil"
+	"ucp/internal/core"
+	"ucp/internal/energy"
+	"ucp/internal/isa"
+)
+
+func main() {
+	var (
+		program = flag.String("program", "fdct", "benchmark name (see ucp-bench -table 1) or path to a program file (isa asm format)")
+		config  = flag.String("config", "k5", "cache configuration label k1..k36 (see ucp-bench -table 2)")
+		tech    = flag.String("tech", "45nm", "process technology: 45nm or 32nm")
+		budget  = flag.Int("budget", 0, "validation budget (0 = default)")
+		dump    = flag.Bool("dump", false, "dump the optimized program's prefetch instructions")
+	)
+	flag.Parse()
+
+	prog, label, err := cliutil.LoadProgram(*program)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ci, err := cliutil.Config(*config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tn, err := cliutil.Tech(*tech)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := cache.Table2()[ci]
+	mdl := energy.NewModel(cfg, tn)
+	opt, rep, err := core.Optimize(prog, cfg, core.Options{Par: mdl.WCETParams(), ValidationBudget: *budget})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optimize:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("program   %s: %d instructions, %d blocks, %d loops\n",
+		label, prog.NInstr(), len(prog.Blocks), len(prog.Loops))
+	fmt.Printf("cache     %s %v  (%d sets × %d ways, %dB blocks)\n",
+		*config, cfg, cfg.NumSets(), cfg.Assoc, cfg.BlockBytes)
+	fmt.Printf("memory    %s\n", mdl)
+	fmt.Println()
+	fmt.Printf("prefetches inserted   %d (after pruning %d parasites)\n", rep.Inserted, rep.Pruned)
+	fmt.Printf("candidates examined   %d over %d passes, %d re-analyses\n", rep.Candidates, rep.Passes, rep.Validations)
+	fmt.Printf("rejections            terminator=%d no-use=%d already-hit=%d ineffective=%d "+
+		"target-is-prefetch=%d duplicate=%d validation=%d\n",
+		rep.RejectedTerminator, rep.RejectedNoUse, rep.RejectedAlreadyHit, rep.RejectedIneffective,
+		rep.RejectedTargetIsPft, rep.RejectedDuplicate, rep.RejectedValidation)
+	fmt.Println()
+	fmt.Printf("τ_w (memory WCET)     %d -> %d cycles  (%.2f%% reduction)\n",
+		rep.TauBefore, rep.TauAfter, 100*(1-float64(rep.TauAfter)/float64(rep.TauBefore)))
+	fmt.Printf("WCET-scenario misses  %d -> %d\n", rep.MissesBefore, rep.MissesAfter)
+	fmt.Printf("WCET-scenario fetches %d -> %d (%+.2f%%)\n",
+		rep.FetchesBefore, rep.FetchesAfter,
+		100*(float64(rep.FetchesAfter)/float64(rep.FetchesBefore)-1))
+
+	if *dump {
+		fmt.Println("\ninserted prefetch instructions:")
+		lay := isa.NewLayout(opt)
+		for _, blk := range opt.Blocks {
+			for i, in := range blk.Instrs {
+				if in.Kind != isa.KindPrefetch {
+					continue
+				}
+				ref := isa.InstrRef{Block: blk.ID, Index: i}
+				fmt.Printf("  %#06x: prefetch block %#x (target %v at %#06x)\n",
+					lay.Addr(ref), lay.PrefetchTargetBlock(ref, cfg.BlockBytes),
+					in.Target, lay.Addr(in.Target))
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Command ucp-wcet runs the cache-aware WCET analysis on one benchmark
+// program and prints the classification statistics and the memory
+// contribution to the WCET, optionally cross-checking the structural solver
+// against the IPET integer linear program.
+//
+// Usage:
+//
+//	ucp-wcet -program crc -config k14 -tech 45nm [-ilp] [-contexts]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ucp/internal/absint"
+	"ucp/internal/cache"
+	"ucp/internal/cliutil"
+	"ucp/internal/energy"
+	"ucp/internal/ipet"
+	"ucp/internal/wcet"
+)
+
+func main() {
+	var (
+		program  = flag.String("program", "crc", "benchmark program name")
+		config   = flag.String("config", "k14", "cache configuration label k1..k36")
+		tech     = flag.String("tech", "45nm", "process technology: 45nm or 32nm")
+		ilpCheck = flag.Bool("ilp", false, "cross-check the structural solver against the IPET ILP")
+		contexts = flag.Bool("contexts", false, "print the per-context classification table")
+	)
+	flag.Parse()
+
+	b, err := cliutil.Benchmark(*program)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ci, err := cliutil.Config(*config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tn, err := cliutil.Tech(*tech)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := cache.Table2()[ci]
+	mdl := energy.NewModel(cfg, tn)
+	res, err := wcet.Analyze(b.Prog, cfg, mdl.WCETParams())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+
+	var ah, am, nc int64
+	for _, xb := range res.X.Blocks {
+		for _, cl := range res.AI.Class[xb.ID] {
+			switch cl {
+			case absint.AlwaysHit:
+				ah++
+			case absint.AlwaysMiss:
+				am++
+			default:
+				nc++
+			}
+		}
+	}
+	total := ah + am + nc
+
+	fmt.Printf("program    %s (%s): %d instructions, %d expanded references in %d contexts\n",
+		b.Name, b.ID, b.Prog.NInstr(), total, len(res.X.Blocks))
+	fmt.Printf("cache      %s %v\n", *config, cfg)
+	fmt.Printf("timing     hit=%d miss=%d Λ=%d cycles\n", res.Par.HitCycles, res.Par.MissCycles(), res.Par.Lambda)
+	fmt.Println()
+	fmt.Printf("classification  AH %d (%.1f%%)  AM %d (%.1f%%)  NC %d (%.1f%%)\n",
+		ah, pct(ah, total), am, pct(am, total), nc, pct(nc, total))
+	fmt.Printf("τ_w             %d cycles over %d WCET-scenario fetches (%d misses)\n",
+		res.TauW, res.Fetches, res.Misses)
+
+	if *ilpCheck {
+		form, err := ipet.BuildExtra(res.X, res.Cost, res.Extra)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipet:", err)
+			os.Exit(1)
+		}
+		ref, err := form.Solve()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilp:", err)
+			os.Exit(1)
+		}
+		status := "MATCH"
+		if ref.TauW != res.TauW {
+			status = "MISMATCH"
+		}
+		fmt.Printf("IPET ILP        τ_w = %d  [%s]\n", ref.TauW, status)
+	}
+
+	if *contexts {
+		fmt.Println("\nper-context summary (block, context, n_w, AH/AM/NC):")
+		for _, xb := range res.X.Blocks {
+			var a, m, n int
+			for _, cl := range res.AI.Class[xb.ID] {
+				switch cl {
+				case absint.AlwaysHit:
+					a++
+				case absint.AlwaysMiss:
+					m++
+				default:
+					n++
+				}
+			}
+			fmt.Printf("  bb%-4d %-8s n_w=%-6d AH=%-4d AM=%-4d NC=%-4d\n",
+				xb.Orig, xb.Ctx, res.Nw[xb.ID], a, m, n)
+		}
+	}
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,12 @@
+// Package ucp is the root of the unlocked-cache prefetching reproduction:
+// a WCET-safe software-prefetch insertion framework with its full analysis
+// stack (VIVU expansion, must/may abstract interpretation, IPET) and the
+// evaluation harness reproducing every figure and table of the paper
+// "Reconciling real-time guarantees and energy efficiency through
+// unlocked-cache prefetching" (DAC 2013).
+//
+// The root package only anchors the module documentation and the
+// benchmark suite in bench_test.go; the implementation lives under
+// internal/ (see DESIGN.md for the map) and the runnable entry points
+// under cmd/ and examples/.
+package ucp

@@ -1,0 +1,644 @@
+// Package absint implements the abstract cache semantics of classical
+// cache-aware WCET analysis (Ferdinand-style must/may analysis with LRU
+// aging), extended — as the paper requires — with the effect of software
+// prefetch instructions. The fixpoint runs on the VIVU-expanded graph, so
+// first-iteration and other-iteration references of every loop are
+// classified separately.
+//
+// Classification soundness is the load-bearing invariant: a reference
+// classified AlwaysHit must hit in every concrete execution that respects
+// the loop bounds (a property test in this repository checks exactly that).
+// Prefetch fills therefore enter the must state only when the fill latency
+// is provably hidden (the prefetch is *effective* in the sense of the
+// paper's Definition 10); otherwise the fill only ages the target set in the
+// must state and joins the may state.
+package absint
+
+import (
+	"sort"
+
+	"ucp/internal/cache"
+	"ucp/internal/isa"
+	"ucp/internal/vivu"
+)
+
+// Classification is the outcome of abstract interpretation for one
+// reference.
+type Classification uint8
+
+const (
+	// NotClassified: the reference may hit or miss; WCET analysis must
+	// assume a miss.
+	NotClassified Classification = iota
+	// AlwaysHit: the must analysis guarantees the block is cached.
+	AlwaysHit
+	// AlwaysMiss: the may analysis guarantees the block is absent.
+	AlwaysMiss
+	// FirstMiss: the persistence analysis guarantees the block, once
+	// loaded, is never evicted — the reference misses at most on the first
+	// iteration of its context. WCET analysis charges the miss to the
+	// first-iteration instance and a hit to the other-iterations one.
+	FirstMiss
+)
+
+// String returns the conventional two-letter tag for the classification.
+func (c Classification) String() string {
+	switch c {
+	case AlwaysHit:
+		return "AH"
+	case AlwaysMiss:
+		return "AM"
+	case FirstMiss:
+		return "FM"
+	default:
+		return "NC"
+	}
+}
+
+type entry struct {
+	blk uint64
+	age uint8
+}
+
+// setState is the abstract state of a single cache set: blocks paired with
+// age bounds (upper bounds in must states, lower bounds in may states),
+// sorted by block for canonical comparison.
+type setState []entry
+
+func (s setState) find(blk uint64) int {
+	i := sort.Search(len(s), func(i int) bool { return s[i].blk >= blk })
+	if i < len(s) && s[i].blk == blk {
+		return i
+	}
+	return -1
+}
+
+func (s setState) insert(blk uint64, age uint8) setState {
+	i := sort.Search(len(s), func(i int) bool { return s[i].blk >= blk })
+	s = append(s, entry{})
+	copy(s[i+1:], s[i:])
+	s[i] = entry{blk, age}
+	return s
+}
+
+func (s setState) remove(i int) setState { return append(s[:i], s[i+1:]...) }
+
+func (s setState) equal(o setState) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// State is an abstract cache state: a must, a may, and a persistence
+// component per set. The persistence component tracks, for every block ever
+// loaded, an upper bound on its maximal LRU age since that load; a block
+// whose bound stays below the associativity can never have been evicted
+// (ages are capped at the associativity, the "maybe evicted" top element).
+type State struct {
+	cfg  cache.Config
+	must []setState
+	may  []setState
+	pers []setState
+}
+
+// NewState returns the abstract state of an empty cache: nothing is
+// guaranteed resident (must = ∅) and nothing may be resident (may = ∅), the
+// cold-start state ĉ_I.
+func NewState(cfg cache.Config) *State {
+	return &State{
+		cfg:  cfg,
+		must: make([]setState, cfg.NumSets()),
+		may:  make([]setState, cfg.NumSets()),
+		pers: make([]setState, cfg.NumSets()),
+	}
+}
+
+// Clone deep-copies the state. All per-set slices are carved out of one
+// backing array (with two spare slots per set, so the following transfer's
+// insertions rarely reallocate); this keeps the fixpoint from drowning in
+// small allocations.
+func (s *State) Clone() *State {
+	const headroom = 2
+	n := len(s.must)
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(s.must[i]) + len(s.may[i]) + len(s.pers[i]) + 3*headroom
+	}
+	buf := make([]entry, total)
+	c := &State{cfg: s.cfg, must: make([]setState, n), may: make([]setState, n), pers: make([]setState, n)}
+	off := 0
+	carve := func(src setState) setState {
+		l := len(src)
+		dst := buf[off : off+l : off+l+headroom]
+		copy(dst, src)
+		off += l + headroom
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		c.must[i] = carve(s.must[i])
+		c.may[i] = carve(s.may[i])
+		c.pers[i] = carve(s.pers[i])
+	}
+	return c
+}
+
+// Equal reports whether two states are identical.
+func (s *State) Equal(o *State) bool {
+	if s.cfg != o.cfg {
+		return false
+	}
+	for i := range s.must {
+		if !s.must[i].equal(o.must[i]) {
+			return false
+		}
+	}
+	for i := range s.may {
+		if !s.may[i].equal(o.may[i]) {
+			return false
+		}
+	}
+	for i := range s.pers {
+		if !s.pers[i].equal(o.pers[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MustContains reports whether blk is guaranteed resident.
+func (s *State) MustContains(blk uint64) bool {
+	return s.must[s.cfg.SetOf(blk)].find(blk) >= 0
+}
+
+// MayContains reports whether blk may be resident.
+func (s *State) MayContains(blk uint64) bool {
+	return s.may[s.cfg.SetOf(blk)].find(blk) >= 0
+}
+
+// Persistent reports whether blk, if it was ever loaded, is guaranteed not
+// to have been evicted since (its persistence age bound is below the
+// associativity).
+func (s *State) Persistent(blk uint64) bool {
+	set := s.pers[s.cfg.SetOf(blk)]
+	if i := set.find(blk); i >= 0 {
+		return set[i].age < uint8(s.cfg.Assoc)
+	}
+	// Never loaded on any path reaching here: the access itself will be
+	// the (single) first load.
+	return true
+}
+
+// Classify returns the classification of an access to blk in this state.
+func (s *State) Classify(blk uint64) Classification {
+	if s.MustContains(blk) {
+		return AlwaysHit
+	}
+	if !s.MayContains(blk) {
+		return AlwaysMiss
+	}
+	return NotClassified
+}
+
+// Access applies the abstract LRU update for a reference to blk to both
+// components (the abstract update function Û).
+func (s *State) Access(blk uint64) {
+	si := s.cfg.SetOf(blk)
+	a := uint8(s.cfg.Assoc)
+	s.must[si] = mustUpdate(s.must[si], blk, a)
+	s.may[si] = mayUpdate(s.may[si], blk, a)
+	s.pers[si] = persUpdate(s.pers[si], blk, a)
+}
+
+// PrefetchFill applies the abstract effect of a prefetch fill of blk.
+//
+// Must component: when the prefetch is effective the fill is guaranteed
+// complete before the next use of blk, so it behaves like an access;
+// otherwise the fill lands at an unknown time and may displace any
+// guaranteed block, so the component only ages.
+//
+// May component: the fill *may* have landed immediately, so blk enters at
+// age zero — but it may equally still be in flight, so no other block's
+// minimum age grows (the join of the filled and unfilled possibilities).
+func (s *State) PrefetchFill(blk uint64, effective bool) {
+	si := s.cfg.SetOf(blk)
+	a := uint8(s.cfg.Assoc)
+	if effective {
+		s.must[si] = mustUpdate(s.must[si], blk, a)
+	} else {
+		s.must[si] = mustAgeAll(s.must[si], a)
+	}
+	s.may[si] = mayInsertFresh(s.may[si], blk)
+	// The fill may displace any block at an unknown time: age the
+	// persistence bounds; the target itself may land (age 0 is only safe
+	// when effective — otherwise keep whatever bound it had).
+	if effective {
+		s.pers[si] = persUpdate(s.pers[si], blk, a)
+	} else {
+		s.pers[si] = persAgeAll(s.pers[si], a)
+	}
+}
+
+// mustUpdate is the must-analysis LRU update: the accessed block gets age 0;
+// blocks younger than its previous upper-bound age grow older by one; blocks
+// aged past the associativity are no longer guaranteed. The input slice is
+// updated in place (callers own their states).
+func mustUpdate(s setState, m uint64, assoc uint8) setState {
+	prev := assoc // treat "not guaranteed" as the oldest possible age
+	if i := s.find(m); i >= 0 {
+		prev = s[i].age
+		s = s.remove(i)
+	}
+	w := 0
+	for _, e := range s {
+		if e.age < prev {
+			e.age++
+		}
+		if e.age < assoc {
+			s[w] = e
+			w++
+		}
+	}
+	return s[:w].insert(m, 0)
+}
+
+// mustAgeAll ages every guaranteed block by one (the conservative must
+// update for a fill whose completion time is unknown), in place.
+func mustAgeAll(s setState, assoc uint8) setState {
+	w := 0
+	for _, e := range s {
+		e.age++
+		if e.age < assoc {
+			s[w] = e
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// mayInsertFresh adds blk at minimum age zero without aging anything else:
+// the may effect of an event that may or may not have happened yet.
+func mayInsertFresh(s setState, blk uint64) setState {
+	if i := s.find(blk); i >= 0 {
+		s[i].age = 0
+		return s
+	}
+	return s.insert(blk, 0)
+}
+
+// persUpdate is the persistence update: the accessed block's age bound
+// resets to zero; younger blocks age by one, capped at the associativity
+// (the "maybe evicted" marker) but never removed — once a block has been
+// seen, the analysis keeps tracking whether it could have been evicted.
+func persUpdate(s setState, m uint64, assoc uint8) setState {
+	prev := assoc
+	if i := s.find(m); i >= 0 {
+		prev = s[i].age
+		s = s.remove(i)
+	}
+	for i := range s {
+		if s[i].age < prev && s[i].age < assoc {
+			s[i].age++
+		}
+	}
+	return s.insert(m, 0)
+}
+
+// persAgeAll ages every tracked bound (a fill at an unknown time).
+func persAgeAll(s setState, assoc uint8) setState {
+	for i := range s {
+		if s[i].age < assoc {
+			s[i].age++
+		}
+	}
+	return s
+}
+
+// joinPers merges persistence states: union with maximal age bounds.
+func joinPers(a, b setState) setState {
+	out := make(setState, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].blk < b[j].blk:
+			out = append(out, a[i])
+			i++
+		case a[i].blk > b[j].blk:
+			out = append(out, b[j])
+			j++
+		default:
+			age := a[i].age
+			if b[j].age > age {
+				age = b[j].age
+			}
+			out = append(out, entry{a[i].blk, age})
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// mayUpdate is the may-analysis LRU update: the accessed block gets age 0;
+// blocks whose lower-bound age does not exceed its previous lower bound grow
+// older by one; blocks aged past the associativity cannot be resident.
+func mayUpdate(s setState, m uint64, assoc uint8) setState {
+	prev := assoc
+	if i := s.find(m); i >= 0 {
+		prev = s[i].age
+		s = s.remove(i)
+	}
+	w := 0
+	for _, e := range s {
+		if e.age <= prev {
+			e.age++
+		}
+		if e.age < assoc {
+			s[w] = e
+			w++
+		}
+	}
+	return s[:w].insert(m, 0)
+}
+
+// Join merges two abstract states flowing into a common program point: the
+// must component intersects (keeping maximal ages) and the may component
+// unites (keeping minimal ages) — the classical join functions of [8].
+func Join(a, b *State) *State {
+	out := &State{
+		cfg:  a.cfg,
+		must: make([]setState, len(a.must)),
+		may:  make([]setState, len(a.may)),
+		pers: make([]setState, len(a.pers)),
+	}
+	for i := range a.must {
+		out.must[i] = joinMust(a.must[i], b.must[i])
+		out.may[i] = joinMay(a.may[i], b.may[i])
+		out.pers[i] = joinPers(a.pers[i], b.pers[i])
+	}
+	return out
+}
+
+func joinMust(a, b setState) setState {
+	var out setState
+	for _, ea := range a {
+		if j := b.find(ea.blk); j >= 0 {
+			age := ea.age
+			if b[j].age > age {
+				age = b[j].age
+			}
+			out = append(out, entry{ea.blk, age})
+		}
+	}
+	return out
+}
+
+func joinMay(a, b setState) setState {
+	out := make(setState, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].blk < b[j].blk:
+			out = append(out, a[i])
+			i++
+		case a[i].blk > b[j].blk:
+			out = append(out, b[j])
+			j++
+		default:
+			age := a[i].age
+			if b[j].age < age {
+				age = b[j].age
+			}
+			out = append(out, entry{a[i].blk, age})
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Result holds the outcome of the fixpoint: the in-state of every expanded
+// block and the classification of every expanded reference.
+type Result struct {
+	X   *vivu.Prog
+	Cfg cache.Config
+	// In[xb] is the abstract state on entry to expanded block xb.
+	In []*State
+	// Class[xb][i] classifies the i-th instruction fetch of expanded
+	// block xb.
+	Class [][]Classification
+	// Effective[xb][i] is meaningful for prefetch instructions: whether
+	// the fill latency is provably hidden before the first use of the
+	// target block (Definition 10, checked with the conservative
+	// one-cycle-per-instruction lower bound).
+	Effective [][]bool
+}
+
+type analyzer struct {
+	x   *vivu.Prog
+	lay *isa.Layout
+	cfg cache.Config
+	res *Result
+	// blkOf[xb][i] is the memory block fetched by the i-th instruction of
+	// expanded block xb.
+	blkOf [][]uint64
+}
+
+// Analyze runs the must/may fixpoint for the expanded program x laid out by
+// lay on cache configuration cfg, with a prefetch latency of lambda cycles.
+func Analyze(x *vivu.Prog, lay *isa.Layout, cfg cache.Config, lambda int) *Result {
+	n := len(x.Blocks)
+	res := &Result{
+		X:         x,
+		Cfg:       cfg,
+		In:        make([]*State, n),
+		Class:     make([][]Classification, n),
+		Effective: make([][]bool, n),
+	}
+	a := &analyzer{x: x, lay: lay, cfg: cfg, res: res, blkOf: make([][]uint64, n)}
+	for _, xb := range x.Blocks {
+		instrs := x.Prog.Blocks[xb.Orig].Instrs
+		res.Class[xb.ID] = make([]Classification, len(instrs))
+		res.Effective[xb.ID] = make([]bool, len(instrs))
+		row := make([]uint64, len(instrs))
+		for i := range instrs {
+			row[i] = lay.MemBlock(isa.InstrRef{Block: xb.Orig, Index: i}, cfg.BlockBytes)
+		}
+		a.blkOf[xb.ID] = row
+	}
+
+	// Precompute prefetch effectiveness (latency hiding) per expanded
+	// prefetch instance; it feeds the must-component of every transfer.
+	for _, xb := range x.Blocks {
+		instrs := x.Prog.Blocks[xb.Orig].Instrs
+		for i, in := range instrs {
+			if in.Kind == isa.KindPrefetch {
+				tgt := lay.MemBlock(in.Target, cfg.BlockBytes)
+				res.Effective[xb.ID][i] = latencyHidden(x, lay, cfg, vivu.Ref{XB: xb.ID, Index: i}, tgt, lambda)
+			}
+		}
+	}
+
+	// Fixpoint over the expanded graph (back edges included), iterating in
+	// topological order of the acyclic skeleton with cached out-states and
+	// dirty tracking. Ages are bounded by the associativity, so the chain
+	// height is small and the loop converges in a few rounds.
+	in := make([]*State, n)
+	out := make([]*State, n)
+	dirty := make([]bool, n)
+	for id := range dirty {
+		dirty[id] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range x.Topo {
+			if !dirty[id] {
+				continue
+			}
+			dirty[id] = false
+			xb := x.Blocks[id]
+			var st *State
+			if id == x.Entry {
+				st = NewState(cfg)
+			} else {
+				for _, p := range xb.Preds {
+					if out[p] == nil {
+						continue
+					}
+					if st == nil {
+						st = out[p]
+					} else {
+						st = Join(st, out[p])
+					}
+				}
+				if st == nil {
+					// No predecessor state yet: the first predecessor to
+					// produce one re-marks this block dirty.
+					continue
+				}
+			}
+			if in[id] != nil && in[id].Equal(st) {
+				continue
+			}
+			in[id] = st
+			newOut := a.transfer(st, id)
+			if out[id] == nil || !out[id].Equal(newOut) {
+				out[id] = newOut
+				for _, e := range xb.Succs {
+					dirty[e.To] = true
+				}
+				changed = true
+			}
+		}
+	}
+	for id := range in {
+		if in[id] == nil {
+			in[id] = NewState(cfg) // only the entry has no predecessors
+		}
+	}
+
+	// One final pass to record in-states and per-reference classification.
+	for _, id := range x.Topo {
+		xb := x.Blocks[id]
+		res.In[id] = in[id]
+		st := in[id].Clone()
+		instrs := x.Prog.Blocks[xb.Orig].Instrs
+		inRest := len(xb.Ctx) > 0 && xb.Ctx[len(xb.Ctx)-1] == 'R'
+		for i, ins := range instrs {
+			blk := a.blkOf[id][i]
+			cl := st.Classify(blk)
+			// Persistence upgrade (first-miss classification): a
+			// not-classified reference in an other-iterations context whose
+			// block can never have been evicted since its load pays its one
+			// miss in the first-iteration context; here it is a hit.
+			if cl == NotClassified && inRest && st.Persistent(blk) {
+				cl = FirstMiss
+			}
+			res.Class[id][i] = cl
+			st.Access(blk)
+			if ins.Kind == isa.KindPrefetch {
+				tgt := lay.MemBlock(ins.Target, cfg.BlockBytes)
+				st.PrefetchFill(tgt, res.Effective[id][i])
+			}
+		}
+	}
+	return res
+}
+
+// transfer pushes the in-state of expanded block p through its instruction
+// sequence, applying the precise (effectiveness-aware) prefetch fill.
+func (a *analyzer) transfer(st *State, p int) *State {
+	xb := a.x.Blocks[p]
+	out := st.Clone()
+	instrs := a.x.Prog.Blocks[xb.Orig].Instrs
+	for i, ins := range instrs {
+		out.Access(a.blkOf[p][i])
+		if ins.Kind == isa.KindPrefetch {
+			tgt := a.lay.MemBlock(ins.Target, a.cfg.BlockBytes)
+			out.PrefetchFill(tgt, a.res.Effective[p][i])
+		}
+	}
+	return out
+}
+
+// latencyHidden reports whether at least lambda instruction fetches separate
+// the prefetch at r from every first use of memory block tgt reachable from
+// it, on every path of the expanded graph. Each fetch takes at least one
+// cycle, so lambda intervening fetches guarantee the fill has completed.
+func latencyHidden(x *vivu.Prog, lay *isa.Layout, cfg cache.Config, r vivu.Ref, tgt uint64, lambda int) bool {
+	type node struct {
+		xb, idx int
+	}
+	// Breadth-first exploration counting fetched instructions after the
+	// prefetch; stop a branch when its count reaches lambda.
+	start := node{r.XB, r.Index}
+	type qent struct {
+		n    node
+		dist int
+	}
+	seen := map[node]int{start: 0}
+	queue := []qent{{start, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		// Successor references of cur.
+		xb := x.Blocks[cur.n.xb]
+		instrs := x.Prog.Blocks[xb.Orig].Instrs
+		var succs []node
+		if cur.n.idx+1 < len(instrs) {
+			succs = []node{{cur.n.xb, cur.n.idx + 1}}
+		} else {
+			for _, e := range xb.Succs {
+				succs = append(succs, node{e.To, 0})
+			}
+		}
+		for _, s := range succs {
+			d := cur.dist + 1
+			sb := x.Blocks[s.xb]
+			blk := lay.MemBlock(isa.InstrRef{Block: sb.Orig, Index: s.idx}, cfg.BlockBytes)
+			if blk == tgt {
+				if d-1 < lambda {
+					// Fewer than lambda fetches between the prefetch and
+					// this use: the fill may still be in flight.
+					return false
+				}
+				continue // this use is covered; don't explore past it
+			}
+			if d >= lambda {
+				continue // any later use is safely beyond the latency
+			}
+			if old, ok := seen[s]; !ok || d < old {
+				seen[s] = d
+				queue = append(queue, qent{s, d})
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,217 @@
+// Package cache models a set-associative instruction cache with true-LRU
+// replacement: the configuration space of the paper's Table 2 and the
+// concrete cache states manipulated by both the trace simulator and the
+// reverse prefetching analysis (the [MRU, LRU] states of Figure 1).
+package cache
+
+import "fmt"
+
+// InvalidBlock is the sentinel for an empty cache way (the paper's invalid
+// block I).
+const InvalidBlock = ^uint64(0)
+
+// Config describes one instruction-cache configuration k = (a, b, c): the
+// associativity, the block (line) size in bytes, and the total capacity in
+// bytes.
+type Config struct {
+	Assoc         int // a: blocks per set
+	BlockBytes    int // b: block size in bytes
+	CapacityBytes int // c: total capacity in bytes
+}
+
+// NumSets returns the number of cache sets.
+func (c Config) NumSets() int { return c.CapacityBytes / (c.BlockBytes * c.Assoc) }
+
+// NumBlocks returns the total number of cache blocks.
+func (c Config) NumBlocks() int { return c.CapacityBytes / c.BlockBytes }
+
+// SetOf maps a memory block index to its cache set.
+func (c Config) SetOf(block uint64) int { return int(block % uint64(c.NumSets())) }
+
+// Valid reports whether the configuration is internally consistent.
+func (c Config) Valid() error {
+	if c.Assoc < 1 || c.BlockBytes < 4 || c.CapacityBytes < c.BlockBytes*c.Assoc {
+		return fmt.Errorf("cache: invalid configuration %+v", c)
+	}
+	if c.CapacityBytes%(c.BlockBytes*c.Assoc) != 0 {
+		return fmt.Errorf("cache: capacity %d not divisible by set size %d", c.CapacityBytes, c.BlockBytes*c.Assoc)
+	}
+	return nil
+}
+
+// String renders the configuration in the paper's (a, b, c) notation.
+func (c Config) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", c.Assoc, c.BlockBytes, c.CapacityBytes)
+}
+
+// Table2 returns the 36 cache configurations of the paper's Table 2, in
+// k1..k36 order: capacity ascending over {256..8192}, block size over
+// {16, 32}, associativity over {1, 2, 4}.
+func Table2() []Config {
+	var out []Config
+	for _, capacity := range []int{256, 512, 1024, 2048, 4096, 8192} {
+		for _, block := range []int{16, 32} {
+			for _, assoc := range []int{1, 2, 4} {
+				out = append(out, Config{Assoc: assoc, BlockBytes: block, CapacityBytes: capacity})
+			}
+		}
+	}
+	return out
+}
+
+// ConfigID returns the paper's label (k1..k36) for the i-th Table 2 entry.
+func ConfigID(i int) string { return fmt.Sprintf("k%d", i+1) }
+
+// State is a concrete cache state: for every set, the resident memory blocks
+// ordered from most to least recently used. It implements the update
+// function U of Definition 1.
+type State struct {
+	cfg  Config
+	sets [][]uint64 // sets[s][0] is the MRU block of set s
+}
+
+// NewState returns an empty (all-invalid) cache state for cfg.
+func NewState(cfg Config) *State {
+	if err := cfg.Valid(); err != nil {
+		panic(err)
+	}
+	s := &State{cfg: cfg, sets: make([][]uint64, cfg.NumSets())}
+	return s
+}
+
+// Config returns the configuration the state was built for.
+func (s *State) Config() Config { return s.cfg }
+
+// Contains reports whether the memory block is resident.
+func (s *State) Contains(block uint64) bool {
+	for _, b := range s.sets[s.cfg.SetOf(block)] {
+		if b == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Access references the memory block: on a hit the block becomes MRU of its
+// set; on a miss it is inserted as MRU, evicting the LRU block when the set
+// is full. It returns whether the access hit and, if a block was evicted,
+// which one (evicted == InvalidBlock means nothing was displaced).
+//
+// Access realizes Properties 1–3 of the paper: the before/after block sets
+// differ by at most the inserted block and the evicted block.
+func (s *State) Access(block uint64) (hit bool, evicted uint64) {
+	si := s.cfg.SetOf(block)
+	set := s.sets[si]
+	for i, b := range set {
+		if b == block {
+			// Hit: rotate to MRU.
+			copy(set[1:i+1], set[:i])
+			set[0] = block
+			return true, InvalidBlock
+		}
+	}
+	// Miss: insert as MRU.
+	evicted = InvalidBlock
+	if len(set) < s.cfg.Assoc {
+		set = append(set, 0)
+	} else {
+		evicted = set[len(set)-1]
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = block
+	s.sets[si] = set
+	return false, evicted
+}
+
+// Insert loads a block as if by a completed prefetch fill: the block becomes
+// MRU of its set, evicting the LRU block when needed. If the block was
+// already resident it is promoted to MRU without any eviction (a redundant
+// prefetch). It returns the evicted block or InvalidBlock.
+func (s *State) Insert(block uint64) (evicted uint64) {
+	_, ev := s.Access(block)
+	return ev
+}
+
+// WouldEvict returns the block that an access (or fill) of the given memory
+// block would displace, without mutating the state. It returns InvalidBlock
+// when the access would hit, when the set still has a free way, or when the
+// block is already resident.
+func (s *State) WouldEvict(block uint64) uint64 {
+	si := s.cfg.SetOf(block)
+	set := s.sets[si]
+	for _, b := range set {
+		if b == block {
+			return InvalidBlock
+		}
+	}
+	if len(set) < s.cfg.Assoc {
+		return InvalidBlock
+	}
+	return set[len(set)-1]
+}
+
+// Remove deletes the block from its set if resident, preserving the LRU
+// order of the remaining blocks.
+func (s *State) Remove(block uint64) {
+	si := s.cfg.SetOf(block)
+	set := s.sets[si]
+	for i, b := range set {
+		if b == block {
+			s.sets[si] = append(set[:i], set[i+1:]...)
+			return
+		}
+	}
+}
+
+// Blocks returns the set of resident memory blocks (the paper's B(ĉ)).
+func (s *State) Blocks() map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, set := range s.sets {
+		for _, b := range set {
+			out[b] = true
+		}
+	}
+	return out
+}
+
+// Set returns a copy of the contents of set si, MRU first.
+func (s *State) Set(si int) []uint64 {
+	return append([]uint64(nil), s.sets[si]...)
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := &State{cfg: s.cfg, sets: make([][]uint64, len(s.sets))}
+	for i, set := range s.sets {
+		if len(set) > 0 {
+			c.sets[i] = append([]uint64(nil), set...)
+		}
+	}
+	return c
+}
+
+// Equal reports whether two states hold the same blocks in the same LRU
+// order for every set.
+func (s *State) Equal(o *State) bool {
+	if s.cfg != o.cfg {
+		return false
+	}
+	for i := range s.sets {
+		if len(s.sets[i]) != len(o.sets[i]) {
+			return false
+		}
+		for j := range s.sets[i] {
+			if s.sets[i][j] != o.sets[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Reset empties every set.
+func (s *State) Reset() {
+	for i := range s.sets {
+		s.sets[i] = s.sets[i][:0]
+	}
+}

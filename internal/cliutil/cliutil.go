@@ -1,0 +1,123 @@
+// Package cliutil holds the small argument parsers shared by the command
+// line tools: configuration labels (k1..k36), technology names, and
+// benchmark lookups with helpful error messages.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ucp/internal/cache"
+	"ucp/internal/energy"
+	"ucp/internal/isa"
+	"ucp/internal/malardalen"
+)
+
+// Config resolves a Table 2 label (k1..k36) to its index.
+func Config(label string) (int, error) {
+	for i := range cache.Table2() {
+		if cache.ConfigID(i) == label {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown configuration %q (want k1..k36)", label)
+}
+
+// Tech resolves a technology name.
+func Tech(s string) (energy.Tech, error) {
+	switch s {
+	case "45nm", "45":
+		return energy.Tech45, nil
+	case "32nm", "32":
+		return energy.Tech32, nil
+	}
+	return 0, fmt.Errorf("unknown technology %q (want 45nm or 32nm)", s)
+}
+
+// Benchmark resolves a benchmark by name.
+func Benchmark(name string) (malardalen.Benchmark, error) {
+	b, ok := malardalen.ByName(name)
+	if !ok {
+		return malardalen.Benchmark{}, fmt.Errorf("unknown program %q; known: %s",
+			name, strings.Join(malardalen.Names(), " "))
+	}
+	return b, nil
+}
+
+// ConfigList parses a comma-separated list of k-labels, or "all".
+func ConfigList(s string) ([]int, error) {
+	if s == "" || s == "all" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if i, err := Config(part); err == nil {
+			out = append(out, i)
+			continue
+		}
+		// Also accept bare indices 1..36.
+		if n, err := strconv.Atoi(part); err == nil && n >= 1 && n <= len(cache.Table2()) {
+			out = append(out, n-1)
+			continue
+		}
+		return nil, fmt.Errorf("bad configuration %q", part)
+	}
+	return out, nil
+}
+
+// ProgramList parses a comma-separated benchmark list, or "all".
+func ProgramList(s string) ([]string, error) {
+	if s == "" || s == "all" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if _, ok := malardalen.ByName(part); !ok {
+			return nil, fmt.Errorf("unknown program %q", part)
+		}
+		out = append(out, part)
+	}
+	return out, nil
+}
+
+// TechList parses a comma-separated technology list, or "all".
+func TechList(s string) ([]energy.Tech, error) {
+	if s == "" || s == "all" {
+		return nil, nil
+	}
+	var out []energy.Tech
+	for _, part := range strings.Split(s, ",") {
+		t, err := Tech(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// LoadProgram resolves a program argument: a path to a textual program file
+// (see isa.ParseAsm) when it names a readable file, otherwise a benchmark
+// name from the suite.
+func LoadProgram(arg string) (*isa.Program, string, error) {
+	if f, err := os.Open(arg); err == nil {
+		defer f.Close()
+		p, err := isa.ParseAsm(f)
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %w", arg, err)
+		}
+		if err := isa.Validate(p); err != nil {
+			return nil, "", fmt.Errorf("%s: %w", arg, err)
+		}
+		return p, p.Name + " (from " + arg + ")", nil
+	}
+	b, err := Benchmark(arg)
+	if err != nil {
+		return nil, "", err
+	}
+	return b.Prog, b.Name + " (" + b.ID + ")", nil
+}

@@ -1,0 +1,490 @@
+// Package core implements the paper's contribution: a code optimization
+// that inserts software prefetch instructions into a program so that the
+// instruction-cache miss rate drops while the memory contribution to the
+// WCET provably does not increase (Theorem 1).
+//
+// The algorithm follows Section 4 and Supplement S.1 of the paper:
+//
+//   - a preliminary WCET analysis (internal/wcet) provides t_w, n_w and the
+//     WCET path;
+//   - a reverse-execution-order walk (Algorithm 3) applies the prefetching
+//     update function Û_e (Algorithm 1) to a cache state maintained in
+//     reverse reference order. A replacement detected by Property 3 in this
+//     backward state identifies a block that cannot survive until its next
+//     use — a guaranteed future miss — and the point right behind the
+//     replacing reference is the latest insertion point from which a
+//     prefetch fill still survives until that use;
+//   - the prefetching join function J_SE (Algorithm 2) propagates, at every
+//     control-flow split, the state of the branch on the WCET path;
+//   - a prefetch is inserted only if it is effective (Definition 10) and
+//     profitable (Equation 9), and the insertion relocates code only up to
+//     the next alignment firewall (see internal/isa).
+//
+// On top of the paper's local criterion this implementation re-runs the
+// full sound analysis before committing insertions — batched, with
+// bisection on failure — and rolls back any batch that would increase τ_w
+// or fail to remove WCET-scenario misses. Theorem 1 therefore holds by
+// construction, with the paper's criterion acting as the proposal filter
+// (see DESIGN.md).
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"ucp/internal/cache"
+	"ucp/internal/isa"
+	"ucp/internal/vivu"
+	"ucp/internal/wcet"
+)
+
+// Options tunes the optimizer. The zero value of the Disable* fields runs
+// the full joint improvement criterion of Section 4.3; they exist for the
+// ablation benchmarks.
+type Options struct {
+	// Par are the memory timing parameters (hit time, miss penalty, Λ).
+	Par wcet.Params
+	// MaxInsertions caps the number of prefetches (safety valve; 0 means
+	// one prefetch per original instruction).
+	MaxInsertions int
+	// DisableEffectiveness skips the Λ ≤ t_w(r_{i+1}, r_{j-1}) check of
+	// Definition 10 (ablation).
+	DisableEffectiveness bool
+	// DisableValidation trusts the local criterion and skips the global
+	// validate-and-commit re-analysis (ablation; Theorem 1 may then fail).
+	DisableValidation bool
+	// DisableMissCheck drops the requirement that the targeted reference
+	// actually misses in the WCET scenario (ablation).
+	DisableMissCheck bool
+	// PadToBlock pads every insertion to a whole cache block with nops
+	// (ablation). With the aligned layout of internal/isa this is normally
+	// counterproductive: the alignment boundaries already confine the
+	// relocation, and the pads only add fetch pressure.
+	PadToBlock bool
+	// ValidationBudget caps the number of sound re-analyses one Optimize
+	// call may spend (0 means the default of 700). Candidates are proposed
+	// in reverse execution order — synergistic chains stay contiguous, so
+	// the batched bisection accepts them in few analyses and the budget
+	// only trims the long tail of rejections.
+	ValidationBudget int
+}
+
+// Report summarizes one optimization run.
+type Report struct {
+	Inserted   int // prefetches committed
+	Candidates int // replacement points considered
+
+	RejectedTerminator  int // no insertion slot behind the replacing reference
+	RejectedNoUse       int // replaced block never used again on the path
+	RejectedAlreadyHit  int // next use already classified a hit
+	RejectedIneffective int // Definition 10 failed
+	RejectedTargetIsPft int // next use is itself a prefetch (Equation 9)
+	RejectedDuplicate   int // an equivalent prefetch already sits there
+	RejectedValidation  int // τ_w or WCET-miss regression on re-analysis
+
+	Passes        int // reverse sweeps over the program
+	Pruned        int // parasitic prefetches removed by the cleanup pass
+	Validations   int // sound re-analyses paid for commits and rejections
+	TauBefore     int64
+	TauAfter      int64
+	MissesBefore  int64
+	MissesAfter   int64
+	FetchesBefore int64
+	FetchesAfter  int64
+}
+
+// Optimize returns a prefetch-equivalent optimized copy of p for the given
+// cache configuration (Problem 1). The input program is not modified.
+func Optimize(p *isa.Program, cfg cache.Config, opt Options) (*isa.Program, *Report, error) {
+	if err := opt.Par.Valid(); err != nil {
+		return nil, nil, err
+	}
+	if err := cfg.Valid(); err != nil {
+		return nil, nil, err
+	}
+	q := p.Clone()
+	x, err := vivu.Expand(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	maxIns := opt.MaxInsertions
+	if maxIns == 0 {
+		maxIns = p.NInstr()
+	}
+
+	res, err := wcet.AnalyzeX(x, cfg, opt.Par)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		TauBefore:     res.TauW,
+		MissesBefore:  res.Misses,
+		FetchesBefore: res.Fetches,
+	}
+
+	o := &optimizer{x: x, cfg: cfg, opt: opt, rep: rep, res: res, rejected: map[candidateKey]bool{}}
+	o.topoPos = make([]int, len(x.Blocks))
+	for i, id := range x.Topo {
+		o.topoPos[id] = i
+	}
+	o.budget = opt.ValidationBudget
+	if o.budget == 0 {
+		o.budget = 700
+	}
+
+	for rep.Inserted < maxIns && rep.Validations < o.budget {
+		rep.Passes++
+		cands := o.collect()
+		if len(cands) == 0 {
+			break
+		}
+		if len(cands) > maxIns-rep.Inserted {
+			cands = cands[:maxIns-rep.Inserted]
+		}
+		n, err := o.bisect(cands)
+		if err != nil {
+			return nil, nil, err
+		}
+		if debugEnabled {
+			fmt.Printf("pass %d: cands=%d accepted=%d validations=%d\n", rep.Passes, len(cands), n, rep.Validations)
+		}
+		rep.Inserted += n
+		if n == 0 {
+			break
+		}
+	}
+
+	// Remove the prefetches that failed to convert their target into a hit
+	// (see prune.go); they would only waste fetch cycles and DRAM energy.
+	if !opt.DisableValidation && rep.Inserted > 0 {
+		o.budget += 80 // the cleanup usually needs only a handful of analyses
+		if err := o.pruneUseless(); err != nil {
+			return nil, nil, err
+		}
+		rep.Inserted = q.NPrefetch()
+	}
+
+	rep.TauAfter = o.res.TauW
+	rep.MissesAfter = o.res.Misses
+	rep.FetchesAfter = o.res.Fetches
+	// With validation active, Theorem 1 holds by construction; any
+	// violation is an internal error. The DisableValidation ablation is
+	// exactly the mode that may break the guarantee, so it is exempt.
+	if !opt.DisableValidation && rep.TauAfter > rep.TauBefore {
+		return nil, nil, fmt.Errorf("core: internal error: τ_w increased from %d to %d", rep.TauBefore, rep.TauAfter)
+	}
+	if !isa.PrefetchEquivalent(p, q) {
+		return nil, nil, fmt.Errorf("core: internal error: output not prefetch-equivalent to input")
+	}
+	return q, rep, nil
+}
+
+var debugEnabled = os.Getenv("UCP_DEBUG") != ""
+
+type candidateKey struct {
+	block, index int    // replacing reference r_i (original coordinates)
+	target       uint64 // replaced memory block s'
+}
+
+// candidate is one proposed prefetch insertion.
+type candidate struct {
+	at     isa.InstrRef // insertion anchor (original program coordinates)
+	before bool         // insert before `at` instead of after it
+	use    isa.InstrRef // the targeted reference r_j
+	key    candidateKey
+	value  int64 // τ_w contribution of the targeted miss (ranking key)
+}
+
+type optimizer struct {
+	x   *vivu.Prog
+	cfg cache.Config
+	opt Options
+	rep *Report
+	res *wcet.Result
+
+	// bwOut caches the backward cache state at every expanded block's exit
+	// for the current analysis; refresh invalidates it.
+	bwOut []*cache.State
+	// topoPos[id] is the position of expanded block id in x.Topo (the
+	// expansion, and hence this order, is stable across insertions).
+	topoPos []int
+
+	// rejected memoizes validation failures so later sweeps do not re-pay
+	// the full re-analysis for a candidate already refuted.
+	rejected map[candidateKey]bool
+	// insLog records committed insertions so sibling bisection branches
+	// can shift their pending coordinates.
+	insLog []insertion
+	// budget caps Validations.
+	budget int
+}
+
+// insertion records one committed program growth event.
+type insertion struct {
+	block, pos, grown int
+}
+
+// collect runs one reverse-execution-order sweep (Algorithm 3) and returns
+// the prefetch candidates that pass every local check, most-downstream
+// first.
+func (o *optimizer) collect() []candidate {
+	res := o.res
+	order := res.X.Topo
+	seen := map[candidateKey]bool{}
+	var out []candidate
+	if o.bwOut == nil {
+		o.bwOut = o.backwardOut()
+	}
+	for ti := len(order) - 1; ti >= 0; ti-- {
+		xbID := order[ti]
+		if !res.OnWCETPath(xbID) {
+			continue
+		}
+		xb := res.X.Blocks[xbID]
+		instrs := res.Prog.Blocks[xb.Orig].Instrs
+		st := o.bwOut[xbID].Clone()
+		for i := len(instrs) - 1; i >= 0; i-- {
+			r := vivu.Ref{XB: xbID, Index: i}
+			if instrs[i].Kind == isa.KindPrefetch && res.AI.Effective[xbID][i] {
+				st.Remove(res.Lay.MemBlock(instrs[i].Target, o.cfg.BlockBytes))
+			}
+			_, evicted := st.Access(o.memBlockOf(r))
+			if evicted == cache.InvalidBlock {
+				continue
+			}
+			if c, ok := o.screen(r, evicted); ok && !seen[c.key] {
+				seen[c.key] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// screen applies the cheap parts of the joint improvement criterion
+// (Section 4.3) to one replacement event and builds the candidate.
+func (o *optimizer) screen(r vivu.Ref, evicted uint64) (candidate, bool) {
+	res := o.res
+	o.rep.Candidates++
+	origRef := res.X.InstrRef(r)
+
+	key := candidateKey{origRef.Block, origRef.Index, evicted}
+	if o.rejected[key] {
+		return candidate{}, false
+	}
+	use, gap, path, found := o.findNextUse(r, evicted)
+	if !found {
+		o.rep.RejectedNoUse++
+		return candidate{}, false
+	}
+	anchor := o.slidePlacement(path, use)
+	at, before, ok := o.insertionPoint(anchor, res.X.InstrRef(anchor))
+	if !ok {
+		o.rep.RejectedTerminator++
+		return candidate{}, false
+	}
+	useRef := res.X.InstrRef(use)
+	if res.Prog.Instr(useRef).Kind == isa.KindPrefetch {
+		// Equation 9: profit is zero when r_j is a prefetch.
+		o.rep.RejectedTargetIsPft++
+		return candidate{}, false
+	}
+	if !o.opt.DisableMissCheck && res.RefTime(use) <= o.opt.Par.HitCycles {
+		o.rep.RejectedAlreadyHit++
+		return candidate{}, false
+	}
+	if !o.opt.DisableEffectiveness && gap < o.opt.Par.Lambda {
+		// Definition 10: Λ must not exceed the WCET-scenario time spent
+		// between the insertion point and the use.
+		o.rep.RejectedIneffective++
+		return candidate{}, false
+	}
+	if o.duplicateAt(at, evicted) {
+		o.rep.RejectedDuplicate++
+		return candidate{}, false
+	}
+	return candidate{at: at, before: before, use: useRef, key: key, value: res.Contribution(use)}, true
+}
+
+// bisect commits as many of the candidates as the sound analysis accepts:
+// it inserts the whole set, re-analyzes once, and on a τ_w or miss
+// regression rolls everything back and recurses on the halves, keeping the
+// coordinates of the pending half consistent with the insertions the other
+// half committed.
+func (o *optimizer) bisect(cands []candidate) (int, error) {
+	if len(cands) == 0 || o.rep.Validations >= o.budget {
+		return 0, nil
+	}
+	ok, err := o.trySubset(cands)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		return len(cands), nil
+	}
+	if len(cands) == 1 {
+		o.rejected[cands[0].key] = true
+		o.rep.RejectedValidation++
+		return 0, nil
+	}
+	mid := len(cands) / 2
+	mark := len(o.insLog)
+	n1, err := o.bisect(cands[:mid])
+	if err != nil {
+		return n1, err
+	}
+	right := cands[mid:]
+	if len(o.insLog) > mark {
+		right = adjustCandidates(right, o.insLog[mark:])
+	}
+	n2, err := o.bisect(right)
+	return n1 + n2, err
+}
+
+// adjustCandidates shifts candidate coordinates past the logged insertions.
+func adjustCandidates(cands []candidate, log []insertion) []candidate {
+	out := append([]candidate(nil), cands...)
+	for _, ins := range log {
+		for i := range out {
+			c := &out[i]
+			if c.at.Block == ins.block && c.at.Index >= ins.pos {
+				c.at.Index += ins.grown
+			}
+			if c.use.Block == ins.block && c.use.Index >= ins.pos {
+				c.use.Index += ins.grown
+			}
+		}
+	}
+	return out
+}
+
+// trySubset inserts the candidates (descending program position, so pending
+// coordinates stay valid), re-analyzes, and keeps the insertions only when
+// τ_w does not grow (Condition 1 / Lemma 2) and the WCET-scenario miss
+// count shrinks (Condition 2).
+func (o *optimizer) trySubset(cands []candidate) (bool, error) {
+	prog := o.res.Prog
+	sorted := append([]candidate(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].at.Block != sorted[j].at.Block {
+			return sorted[i].at.Block > sorted[j].at.Block
+		}
+		return sorted[i].at.Index > sorted[j].at.Index
+	})
+
+	snapshot := make([][]isa.Instr, len(prog.Blocks))
+	for i, b := range prog.Blocks {
+		snapshot[i] = append([]isa.Instr(nil), b.Instrs...)
+	}
+
+	pads := 0
+	if o.opt.PadToBlock {
+		pads = o.cfg.BlockBytes/isa.InstrBytes - 1
+	}
+	var inserted []insertion
+	for ci, c := range sorted {
+		ins := isa.Instr{Kind: isa.KindPrefetch, Target: c.use}
+		var pos isa.InstrRef
+		if c.before {
+			pos = prog.InsertInstrBefore(c.at, ins)
+		} else {
+			pos = prog.InsertInstr(c.at, ins)
+		}
+		cur := pos
+		for k := 0; k < pads; k++ {
+			cur = prog.InsertInstr(cur, isa.Instr{Kind: isa.KindPad})
+		}
+		// Shift the pending candidates' use coordinates past the insertion;
+		// their anchors are weakly upstream by the sort order and stay put.
+		grown := 1 + pads
+		inserted = append(inserted, insertion{block: pos.Block, pos: pos.Index, grown: grown})
+		for cj := ci + 1; cj < len(sorted); cj++ {
+			p := &sorted[cj]
+			if p.use.Block == pos.Block && p.use.Index >= pos.Index {
+				p.use.Index += grown
+			}
+		}
+	}
+
+	prevRes, prevBw := o.res, o.bwOut
+	if err := o.refresh(); err != nil {
+		return false, err
+	}
+	if o.opt.DisableValidation || (o.res.TauW <= prevRes.TauW && o.res.Misses < prevRes.Misses) {
+		for _, ins := range inserted {
+			o.insLog = append(o.insLog, ins)
+		}
+		return true, nil
+	}
+	for i, b := range prog.Blocks {
+		b.Instrs = snapshot[i]
+	}
+	o.res, o.bwOut = prevRes, prevBw
+	return false, nil
+}
+
+// refresh re-runs the WCET analysis after a program mutation.
+func (o *optimizer) refresh() error {
+	res, err := wcet.AnalyzeX(o.x, o.cfg, o.opt.Par)
+	if err != nil {
+		return err
+	}
+	o.rep.Validations++
+	o.res = res
+	o.bwOut = nil
+	return nil
+}
+
+// insertionPoint picks where π goes: immediately after r inside its block,
+// or — when r is a block terminator — at the head of the successor block on
+// the WCET path (the edge (r_i, r_{i+1}) of the ACFG then crosses a block
+// boundary). The returned flag selects InsertInstrBefore semantics.
+func (o *optimizer) insertionPoint(r vivu.Ref, origRef isa.InstrRef) (isa.InstrRef, bool, bool) {
+	res := o.res
+	origBlk := res.Prog.Blocks[origRef.Block]
+	k := origBlk.Instrs[origRef.Index].Kind
+	if origRef.Index != len(origBlk.Instrs)-1 || (k != isa.KindBranch && k != isa.KindJump) {
+		return origRef, false, true
+	}
+	// Terminator: place the prefetch at the head of the WCET successor.
+	xb := res.X.Blocks[r.XB]
+	bestN := int64(-1)
+	best := -1
+	for _, e := range xb.Succs {
+		n := res.Nw[e.To]
+		switch {
+		case n > bestN:
+			bestN, best = n, e.To
+		case n == bestN && best != -1 && o.topoPos[e.To] < o.topoPos[best]:
+			best = e.To
+		}
+	}
+	if best == -1 || bestN <= 0 {
+		return isa.InstrRef{}, false, false
+	}
+	return isa.InstrRef{Block: res.X.Blocks[best].Orig, Index: 0}, true, true
+}
+
+// duplicateAt reports whether an equivalent prefetch (same target block)
+// already sits adjacent to the insertion point.
+func (o *optimizer) duplicateAt(origRef isa.InstrRef, target uint64) bool {
+	b := o.res.Prog.Blocks[origRef.Block]
+	for _, idx := range []int{origRef.Index, origRef.Index + 1, origRef.Index + 2} {
+		if idx < 0 || idx >= len(b.Instrs) {
+			continue
+		}
+		in := b.Instrs[idx]
+		if in.Kind != isa.KindPrefetch {
+			continue
+		}
+		if o.res.Lay.MemBlock(in.Target, o.cfg.BlockBytes) == target {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *optimizer) memBlockOf(r vivu.Ref) uint64 {
+	return o.res.Lay.MemBlock(o.res.X.InstrRef(r), o.cfg.BlockBytes)
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sort"
+
+	"ucp/internal/isa"
+)
+
+// The batched commit criterion accepts a set of prefetches when the set as
+// a whole removes WCET-scenario misses. Individual members can still be
+// parasites: their own target keeps missing (another member or a layout
+// shift did the real work), so they contribute nothing but fetch cycles and
+// a DRAM transfer per execution — pure dynamic-energy waste (they are the
+// reason Condition 2 talks about the miss *rate*, not just the WCET).
+//
+// pruneUseless mirrors the insertion machinery: it tries to *remove*
+// prefetches, keeping a removal only when τ_w does not grow and no
+// WCET-scenario miss reappears. Removing a useful prefetch re-introduces
+// its miss and is rolled back; removing a parasite is accepted and even
+// shaves its fetch time off τ_w.
+func (o *optimizer) pruneUseless() error {
+	for {
+		refs := o.collectPrefetches()
+		if len(refs) == 0 {
+			return nil
+		}
+		n, err := o.pruneBisect(refs)
+		if err != nil {
+			return err
+		}
+		o.rep.Pruned += n
+		if n == 0 || o.rep.Validations >= o.budget {
+			return nil
+		}
+	}
+}
+
+// collectPrefetches lists every prefetch instruction, descending program
+// position so earlier removals do not shift later coordinates.
+func (o *optimizer) collectPrefetches() []isa.InstrRef {
+	var out []isa.InstrRef
+	for _, b := range o.res.Prog.Blocks {
+		for i, in := range b.Instrs {
+			if in.Kind == isa.KindPrefetch {
+				out = append(out, isa.InstrRef{Block: b.ID, Index: i})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Block != out[j].Block {
+			return out[i].Block > out[j].Block
+		}
+		return out[i].Index > out[j].Index
+	})
+	return out
+}
+
+func (o *optimizer) pruneBisect(refs []isa.InstrRef) (int, error) {
+	if len(refs) == 0 || o.rep.Validations >= o.budget {
+		return 0, nil
+	}
+	ok, err := o.tryRemoveSubset(refs)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		return len(refs), nil
+	}
+	if len(refs) == 1 {
+		return 0, nil
+	}
+	mid := len(refs) / 2
+	// The halves keep valid coordinates: refs are sorted descending and
+	// removals only shift strictly larger indices of the same block.
+	n1, err := o.pruneBisect(refs[:mid])
+	if err != nil {
+		return n1, err
+	}
+	n2, err := o.pruneBisect(refs[mid:])
+	return n1 + n2, err
+}
+
+// tryRemoveSubset deletes the prefetches (and their trailing pads, when the
+// PadToBlock ablation added them), re-analyzes, and keeps the removal only
+// when τ_w does not grow and the WCET-scenario miss count does not grow.
+func (o *optimizer) tryRemoveSubset(refs []isa.InstrRef) (bool, error) {
+	prog := o.res.Prog
+	snapshot := make([][]isa.Instr, len(prog.Blocks))
+	for i, b := range prog.Blocks {
+		snapshot[i] = append([]isa.Instr(nil), b.Instrs...)
+	}
+	for _, ref := range refs {
+		// Remove trailing pads first so the prefetch's index stays valid.
+		b := prog.Blocks[ref.Block]
+		for ref.Index+1 < len(b.Instrs) && b.Instrs[ref.Index+1].Kind == isa.KindPad {
+			prog.RemoveInstr(isa.InstrRef{Block: ref.Block, Index: ref.Index + 1})
+		}
+		prog.RemoveInstr(ref)
+	}
+	prevRes, prevBw := o.res, o.bwOut
+	if err := o.refresh(); err != nil {
+		return false, err
+	}
+	if o.res.TauW <= prevRes.TauW && o.res.Misses <= prevRes.Misses {
+		return true, nil
+	}
+	for i, b := range prog.Blocks {
+		b.Instrs = snapshot[i]
+	}
+	o.res, o.bwOut = prevRes, prevBw
+	return false, nil
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the raw per-use-case measurements, one row per cell, for
+// external plotting or statistics. Every figure of the paper can be
+// recomputed from these columns.
+func (s *Suite) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"program", "config", "assoc", "block_bytes", "capacity_bytes", "tech",
+		"inserted", "cond3_reverted",
+		"tau_orig", "tau_opt", "wcet_misses_orig", "wcet_misses_opt",
+		"acet_orig", "acet_opt", "missrate_orig", "missrate_opt",
+		"energy_orig_pj", "energy_opt_pj", "dyn_orig_pj", "dyn_opt_pj",
+		"static_orig_pj", "static_opt_pj", "fetches_orig", "fetches_opt",
+		"tau_half", "acet_half", "energy_half_pj",
+		"tau_quarter", "acet_quarter", "energy_quarter_pj",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return fmt.Sprintf("%.4f", v) }
+	d := func(v int64) string { return fmt.Sprintf("%d", v) }
+	for _, c := range s.Cells {
+		row := []string{
+			c.Program, c.ConfigID,
+			d(int64(c.Cfg.Assoc)), d(int64(c.Cfg.BlockBytes)), d(int64(c.Cfg.CapacityBytes)),
+			c.Tech.String(),
+			d(int64(c.Inserted)), fmt.Sprintf("%t", c.Cond3Reverted),
+			d(c.TauOrig), d(c.TauOpt), d(c.MissWOrig), d(c.MissWOpt),
+			f(c.ACETOrig), f(c.ACETOpt), f(c.MissRateOrig), f(c.MissRateOpt),
+			f(c.EnergyOrig), f(c.EnergyOpt), f(c.DynOrig), f(c.DynOpt),
+			f(c.StaticOrig), f(c.StaticOpt), f(c.FetchesOrig), f(c.FetchesOpt),
+		}
+		if c.HasHalf {
+			row = append(row, d(c.TauHalf), f(c.ACETHalf), f(c.EnergyHalf))
+		} else {
+			row = append(row, "", "", "")
+		}
+		if c.HasQuarter {
+			row = append(row, d(c.TauQuarter), f(c.ACETQuarter), f(c.EnergyQuarter))
+		} else {
+			row = append(row, "", "", "")
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ucp/internal/energy"
+	"ucp/internal/malardalen"
+)
+
+func smallSweep(t *testing.T) *Suite {
+	t.Helper()
+	s, err := Run(Options{
+		Programs:         []string{"fdct", "crc", "minmax"},
+		Configs:          []int{0, 13, 32}, // 256B, 1KB, 8KB samples
+		Techs:            []energy.Tech{energy.Tech45},
+		Runs:             1,
+		ValidationBudget: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSweepShape(t *testing.T) {
+	s := smallSweep(t)
+	if len(s.Cells) != 9 {
+		t.Fatalf("cells = %d, want 9", len(s.Cells))
+	}
+	for _, c := range s.Cells {
+		if c.TauOrig <= 0 || c.ACETOrig <= 0 || c.EnergyOrig <= 0 {
+			t.Fatalf("%s/%s: degenerate originals: %+v", c.Program, c.ConfigID, c)
+		}
+		// Theorem 1 and the guards: nothing may regress.
+		if c.TauOpt > c.TauOrig {
+			t.Fatalf("%s/%s: WCET regressed", c.Program, c.ConfigID)
+		}
+		if c.ACETOpt > c.ACETOrig*1.003 {
+			t.Fatalf("%s/%s: ACET regressed: %.1f -> %.1f", c.Program, c.ConfigID, c.ACETOrig, c.ACETOpt)
+		}
+		if c.EnergyOpt > c.EnergyOrig*1.003 {
+			t.Fatalf("%s/%s: energy regressed", c.Program, c.ConfigID)
+		}
+	}
+}
+
+func TestFigureRenderers(t *testing.T) {
+	s := smallSweep(t)
+	var buf bytes.Buffer
+	s.Headline(&buf)
+	s.Figure3(&buf)
+	s.Figure4(&buf)
+	s.Figure5(&buf)
+	s.Figure7(&buf)
+	s.Figure8(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"overall average improvement",
+		"Figure 3", "Figure 4", "Figure 5", "Figure 7", "Figure 8",
+		"256B", "8192B", "regressed: 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered figures missing %q", want)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	Table2(&buf)
+	out := buf.String()
+	for _, want := range []string{"adpcm", "p37", "(1,16,256)", "k36"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables missing %q", want)
+		}
+	}
+}
+
+func TestRunCellReducedCaches(t *testing.T) {
+	b, _ := malardalen.ByName("crc")
+	cell, err := RunCell(b, 13, energy.Tech45, Options{Runs: 1, ValidationBudget: 20}) // k14 = (2,16,1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cell.HasHalf || !cell.HasQuarter {
+		t.Fatalf("1KB cell must have half and quarter runs: %+v", cell)
+	}
+	if cell.ACETHalf < cell.ACETOpt {
+		t.Error("halving the cache should not speed the program up")
+	}
+	// k1 = (1,16,256): quarter = 64B, valid for assoc 1.
+	cellSmall, err := RunCell(b, 0, energy.Tech45, Options{Runs: 1, ValidationBudget: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cellSmall.HasHalf {
+		t.Error("256B direct-mapped cell should allow a 128B half-size run")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := smallSweep(t)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(s.Cells)+1 {
+		t.Fatalf("csv rows = %d, want %d", len(lines), len(s.Cells)+1)
+	}
+	if !strings.HasPrefix(lines[0], "program,config,assoc") {
+		t.Fatalf("csv header: %s", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if strings.Count(line, ",") != strings.Count(lines[0], ",") {
+			t.Fatalf("ragged csv row: %s", line)
+		}
+	}
+}

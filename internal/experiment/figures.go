@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ucp/internal/cache"
+	"ucp/internal/malardalen"
+)
+
+// This file renders the paper's figures and tables as text: the same series
+// the paper plots, printed as aligned columns so EXPERIMENTS.md can quote
+// them directly.
+
+func capacities() []int { return []int{256, 512, 1024, 2048, 4096, 8192} }
+
+type agg struct {
+	n   int
+	sum float64
+}
+
+func (a *agg) add(v float64) { a.n++; a.sum += v }
+func (a *agg) mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Headline prints the overall averages the abstract quotes: energy −11.2 %,
+// ACET −10.2 %, WCET −17.4 % in the paper.
+func (s *Suite) Headline(w io.Writer) {
+	var e, a, t agg
+	for _, c := range s.Cells {
+		e.add(1 - ratio(c.EnergyOpt, c.EnergyOrig))
+		a.add(1 - ratio(c.ACETOpt, c.ACETOrig))
+		t.add(1 - ratio(float64(c.TauOpt), float64(c.TauOrig)))
+	}
+	fmt.Fprintf(w, "overall average improvement over %d use cases:\n", len(s.Cells))
+	fmt.Fprintf(w, "  energy   %6.2f%%   (paper: 11.2%%)\n", 100*e.mean())
+	fmt.Fprintf(w, "  ACET     %6.2f%%   (paper: 10.2%%)\n", 100*a.mean())
+	fmt.Fprintf(w, "  WCET     %6.2f%%   (paper: 17.4%%)\n", 100*t.mean())
+}
+
+// Figure3 prints the average improvement of energy consumption, ACET and
+// WCET per cache size (the three series of the paper's Figure 3).
+func (s *Suite) Figure3(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3 — average improvement per cache size (percent)")
+	fmt.Fprintf(w, "%8s %10s %10s %10s %8s\n", "size", "energy", "ACET", "WCET", "cells")
+	for _, capacity := range capacities() {
+		var e, a, t agg
+		for _, c := range s.Cells {
+			if c.Cfg.CapacityBytes != capacity {
+				continue
+			}
+			e.add(1 - ratio(c.EnergyOpt, c.EnergyOrig))
+			a.add(1 - ratio(c.ACETOpt, c.ACETOrig))
+			t.add(1 - ratio(float64(c.TauOpt), float64(c.TauOrig)))
+		}
+		if e.n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%7dB %9.2f%% %9.2f%% %9.2f%% %8d\n",
+			capacity, 100*e.mean(), 100*a.mean(), 100*t.mean(), e.n)
+	}
+}
+
+// Figure4 prints the average miss rate before and after the optimization
+// per cache size (the paper's Figure 4).
+func (s *Suite) Figure4(w io.Writer) {
+	fmt.Fprintln(w, "Figure 4 — average miss rate per cache size (percent)")
+	fmt.Fprintf(w, "%8s %12s %12s %12s\n", "size", "original", "optimized", "reduction")
+	for _, capacity := range capacities() {
+		var mo, mp agg
+		for _, c := range s.Cells {
+			if c.Cfg.CapacityBytes != capacity {
+				continue
+			}
+			mo.add(c.MissRateOrig)
+			mp.add(c.MissRateOpt)
+		}
+		if mo.n == 0 {
+			continue
+		}
+		red := 0.0
+		if mo.mean() > 0 {
+			red = 1 - mp.mean()/mo.mean()
+		}
+		fmt.Fprintf(w, "%7dB %11.2f%% %11.2f%% %11.2f%%\n",
+			capacity, 100*mo.mean(), 100*mp.mean(), 100*red)
+	}
+}
+
+// Figure5 prints the average reductions when the optimized binary runs on
+// half and quarter of the original capacity, compared to the original
+// binary on the full capacity (the paper's Figure 5).
+func (s *Suite) Figure5(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5 — optimized binary on reduced capacity vs. original on full (percent improvement)")
+	fmt.Fprintf(w, "%8s | %10s %10s %10s | %10s %10s %10s\n",
+		"size", "E (1/2)", "ACET (1/2)", "WCET (1/2)", "E (1/4)", "ACET (1/4)", "WCET (1/4)")
+	for _, capacity := range capacities() {
+		var eh, ah, th, eq, aq, tq agg
+		for _, c := range s.Cells {
+			if c.Cfg.CapacityBytes != capacity {
+				continue
+			}
+			if c.HasHalf {
+				eh.add(1 - ratio(c.EnergyHalf, c.EnergyOrig))
+				ah.add(1 - ratio(c.ACETHalf, c.ACETOrig))
+				th.add(1 - ratio(float64(c.TauHalf), float64(c.TauOrig)))
+			}
+			if c.HasQuarter {
+				eq.add(1 - ratio(c.EnergyQuarter, c.EnergyOrig))
+				aq.add(1 - ratio(c.ACETQuarter, c.ACETOrig))
+				tq.add(1 - ratio(float64(c.TauQuarter), float64(c.TauOrig)))
+			}
+		}
+		if eh.n == 0 && eq.n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%7dB | %9.2f%% %9.2f%% %9.2f%% | %9.2f%% %9.2f%% %9.2f%%\n",
+			capacity, 100*eh.mean(), 100*ah.mean(), 100*th.mean(),
+			100*eq.mean(), 100*aq.mean(), 100*tq.mean())
+	}
+}
+
+// Figure7 prints the per-use-case WCET ratio (Inequation 12): a summary and
+// the worst offenders. The paper's guarantee is that no ratio exceeds one.
+func (s *Suite) Figure7(w io.Writer) {
+	type uc struct {
+		name  string
+		ratio float64
+	}
+	var all []uc
+	over := 0
+	for _, c := range s.Cells {
+		r := ratio(float64(c.TauOpt), float64(c.TauOrig))
+		all = append(all, uc{fmt.Sprintf("%s/%s/%v", c.Program, c.ConfigID, c.Tech), r})
+		if r > 1.0000001 {
+			over++
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ratio < all[j].ratio })
+	fmt.Fprintln(w, "Figure 7 — WCET ratio τ_w(optimized)/τ_w(original) per use case")
+	if len(all) == 0 {
+		return
+	}
+	var mean agg
+	improved := 0
+	for _, u := range all {
+		mean.add(u.ratio)
+		if u.ratio < 0.9999999 {
+			improved++
+		}
+	}
+	fmt.Fprintf(w, "  use cases: %d   improved: %d   unchanged: %d   regressed: %d (must be 0)\n",
+		len(all), improved, len(all)-improved-over, over)
+	fmt.Fprintf(w, "  best ratio: %.4f   mean ratio: %.4f   worst ratio: %.4f\n",
+		all[0].ratio, mean.mean(), all[len(all)-1].ratio)
+	fmt.Fprintln(w, "  ten largest reductions:")
+	for i := 0; i < len(all) && i < 10; i++ {
+		fmt.Fprintf(w, "    %-28s %.4f\n", all[i].name, all[i].ratio)
+	}
+}
+
+// Figure8 prints the executed-instruction ratio per cache size (the paper's
+// Figure 8; their maximal increase was 1.32 %).
+func (s *Suite) Figure8(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8 — executed instructions, optimized/original")
+	fmt.Fprintf(w, "%8s %10s %10s\n", "size", "average", "max")
+	worst := 0.0
+	for _, capacity := range capacities() {
+		var a agg
+		mx := 0.0
+		for _, c := range s.Cells {
+			if c.Cfg.CapacityBytes != capacity {
+				continue
+			}
+			r := ratio(c.FetchesOpt, c.FetchesOrig)
+			a.add(r)
+			if r > mx {
+				mx = r
+			}
+		}
+		if a.n == 0 {
+			continue
+		}
+		if mx > worst {
+			worst = mx
+		}
+		fmt.Fprintf(w, "%7dB %10.4f %10.4f\n", capacity, a.mean(), mx)
+	}
+	fmt.Fprintf(w, "  maximal increase: %+.2f%%  (paper: +1.32%%)\n", 100*(worst-1))
+}
+
+// Table1 prints the program identification table.
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1 — program identification")
+	benches := malardalen.All()
+	for i := 0; i < len(benches); i += 3 {
+		for j := i; j < i+3 && j < len(benches); j++ {
+			fmt.Fprintf(w, "%-14s %-5s", benches[j].Name, benches[j].ID)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Table2 prints the cache configuration table.
+func Table2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2 — cache configurations (a, b, c) = (assoc, block bytes, capacity bytes)")
+	cfgs := cache.Table2()
+	for i := 0; i < len(cfgs); i += 3 {
+		for j := i; j < i+3 && j < len(cfgs); j++ {
+			fmt.Fprintf(w, "%-14s %-5s", cfgs[j].String(), cache.ConfigID(j))
+		}
+		fmt.Fprintln(w)
+	}
+}

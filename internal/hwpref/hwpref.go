@@ -1,0 +1,195 @@
+// Package hwpref implements the hardware instruction-prefetching mechanisms
+// the paper's related-work section surveys (Section 2): sequential
+// prefetching in its three classic flavors (next-line always, next-line on
+// miss, tagged), next-N-line prefetching, target prefetching with a
+// reference prediction table (RPT), and wrong-path prefetching. They plug
+// into the trace simulator as baselines for the ablation experiments.
+package hwpref
+
+// Event describes one instruction fetch as seen by a hardware prefetcher.
+type Event struct {
+	// PC is the address of the fetched instruction.
+	PC uint64
+	// Block is the memory block of PC.
+	Block uint64
+	// Hit reports whether the fetch hit in the cache.
+	Hit bool
+	// FirstUse reports whether this is the first demand access to Block
+	// since it was (pre)fetched — the tag bit of tagged prefetching.
+	FirstUse bool
+	// IsBranch marks conditional-branch instructions.
+	IsBranch bool
+	// TakenPC and FallPC are the two potential successors of a branch
+	// (zero when not a branch).
+	TakenPC, FallPC uint64
+	// NextPC is the resolved address of the next instruction executed.
+	NextPC uint64
+}
+
+// Prefetcher decides which memory blocks to load ahead of demand.
+type Prefetcher interface {
+	// Name identifies the mechanism in reports.
+	Name() string
+	// OnAccess observes one fetch and returns the memory blocks to
+	// prefetch (possibly none).
+	OnAccess(ev Event, blockBytes int) []uint64
+	// Reset clears internal state between runs.
+	Reset()
+}
+
+// NextLine is sequential prefetching: fetch block b triggers a prefetch of
+// block b+1 under one of the three classic policies.
+type NextLine struct {
+	// Policy selects when the next line is prefetched.
+	Policy NextLinePolicy
+}
+
+// NextLinePolicy enumerates the sequential prefetch triggers of [18].
+type NextLinePolicy int
+
+const (
+	// Always prefetches the next line on every access.
+	Always NextLinePolicy = iota
+	// OnMiss prefetches the next line only on a miss.
+	OnMiss
+	// Tagged prefetches the next line on the first use of a block.
+	Tagged
+)
+
+// Name implements Prefetcher.
+func (n *NextLine) Name() string {
+	switch n.Policy {
+	case OnMiss:
+		return "next-line-on-miss"
+	case Tagged:
+		return "next-line-tagged"
+	default:
+		return "next-line-always"
+	}
+}
+
+// OnAccess implements Prefetcher.
+func (n *NextLine) OnAccess(ev Event, blockBytes int) []uint64 {
+	switch n.Policy {
+	case OnMiss:
+		if ev.Hit {
+			return nil
+		}
+	case Tagged:
+		if !ev.FirstUse {
+			return nil
+		}
+	}
+	return []uint64{ev.Block + 1}
+}
+
+// Reset implements Prefetcher.
+func (n *NextLine) Reset() {}
+
+// NextNLine extends sequential prefetching to the N contiguous lines.
+type NextNLine struct {
+	N int
+}
+
+// Name implements Prefetcher.
+func (n *NextNLine) Name() string { return "next-n-line" }
+
+// OnAccess implements Prefetcher.
+func (n *NextNLine) OnAccess(ev Event, blockBytes int) []uint64 {
+	if ev.Hit {
+		return nil
+	}
+	out := make([]uint64, 0, n.N)
+	for i := 1; i <= n.N; i++ {
+		out = append(out, ev.Block+uint64(i))
+	}
+	return out
+}
+
+// Reset implements Prefetcher.
+func (n *NextNLine) Reset() {}
+
+// Target implements target prefetching [19]: a reference prediction table
+// maps a branch's address to its last taken-target block; matching the
+// table on a later execution of the branch prefetches that block (the
+// implicit always-taken assumption the paper points out).
+type Target struct {
+	// TableSize bounds the RPT (direct-mapped on the branch address).
+	TableSize int
+
+	rpt map[uint64]uint64 // branch PC -> predicted target block
+}
+
+// Name implements Prefetcher.
+func (t *Target) Name() string { return "target-rpt" }
+
+// OnAccess implements Prefetcher.
+func (t *Target) OnAccess(ev Event, blockBytes int) []uint64 {
+	if !ev.IsBranch {
+		return nil
+	}
+	if t.rpt == nil {
+		t.rpt = make(map[uint64]uint64)
+	}
+	var out []uint64
+	if blk, ok := t.rpt[t.slot(ev.PC)]; ok {
+		out = append(out, blk)
+	}
+	// Learn: store the target the branch actually took this time, but only
+	// taken targets (an RPT records taken branches).
+	if ev.NextPC == ev.TakenPC {
+		if len(t.rpt) < t.size() || t.hasSlot(ev.PC) {
+			t.rpt[t.slot(ev.PC)] = ev.NextPC / uint64(blockBytes)
+		}
+	}
+	return out
+}
+
+func (t *Target) size() int {
+	if t.TableSize <= 0 {
+		return 64
+	}
+	return t.TableSize
+}
+
+func (t *Target) slot(pc uint64) uint64 { return pc % (uint64(t.size()) * 4096) }
+
+func (t *Target) hasSlot(pc uint64) bool {
+	_, ok := t.rpt[t.slot(pc)]
+	return ok
+}
+
+// Reset implements Prefetcher.
+func (t *Target) Reset() { t.rpt = nil }
+
+// WrongPath implements wrong-path prefetching [13]: both the taken target
+// and the fall-through of a branch are prefetched, profiting whichever path
+// executes at the price of more ineffective prefetches.
+type WrongPath struct{}
+
+// Name implements Prefetcher.
+func (WrongPath) Name() string { return "wrong-path" }
+
+// OnAccess implements Prefetcher.
+func (WrongPath) OnAccess(ev Event, blockBytes int) []uint64 {
+	if !ev.IsBranch {
+		return nil
+	}
+	bb := uint64(blockBytes)
+	return []uint64{ev.TakenPC / bb, ev.FallPC / bb}
+}
+
+// Reset implements Prefetcher.
+func (WrongPath) Reset() {}
+
+// All returns one instance of every baseline mechanism.
+func All() []Prefetcher {
+	return []Prefetcher{
+		&NextLine{Policy: Always},
+		&NextLine{Policy: OnMiss},
+		&NextLine{Policy: Tagged},
+		&NextNLine{N: 2},
+		&Target{},
+		WrongPath{},
+	}
+}

@@ -1,0 +1,112 @@
+package hwpref
+
+import "testing"
+
+func ev(block uint64, hit, first bool) Event {
+	return Event{PC: block * 16, Block: block, Hit: hit, FirstUse: first}
+}
+
+func TestNextLineAlways(t *testing.T) {
+	p := &NextLine{Policy: Always}
+	for _, hit := range []bool{true, false} {
+		got := p.OnAccess(ev(7, hit, false), 16)
+		if len(got) != 1 || got[0] != 8 {
+			t.Fatalf("always policy: got %v", got)
+		}
+	}
+}
+
+func TestNextLineOnMiss(t *testing.T) {
+	p := &NextLine{Policy: OnMiss}
+	if got := p.OnAccess(ev(7, true, false), 16); got != nil {
+		t.Fatalf("hit must not trigger on-miss policy: %v", got)
+	}
+	if got := p.OnAccess(ev(7, false, false), 16); len(got) != 1 || got[0] != 8 {
+		t.Fatalf("miss must trigger: %v", got)
+	}
+}
+
+func TestNextLineTagged(t *testing.T) {
+	p := &NextLine{Policy: Tagged}
+	if got := p.OnAccess(ev(7, true, true), 16); len(got) != 1 || got[0] != 8 {
+		t.Fatalf("first use must trigger tagged policy: %v", got)
+	}
+	if got := p.OnAccess(ev(7, true, false), 16); got != nil {
+		t.Fatalf("re-use must not trigger tagged policy: %v", got)
+	}
+}
+
+func TestNextNLine(t *testing.T) {
+	p := &NextNLine{N: 3}
+	got := p.OnAccess(ev(10, false, true), 16)
+	if len(got) != 3 || got[0] != 11 || got[2] != 13 {
+		t.Fatalf("next-3-line: %v", got)
+	}
+	if got := p.OnAccess(ev(10, true, false), 16); got != nil {
+		t.Fatalf("hits must not trigger next-N-line: %v", got)
+	}
+}
+
+func TestTargetRPTLearnsTakenBranches(t *testing.T) {
+	p := &Target{}
+	br := Event{PC: 0x1000, Block: 0x100, IsBranch: true, TakenPC: 0x2000, FallPC: 0x1004, NextPC: 0x2000}
+	// First encounter: nothing predicted yet, but the taken target is
+	// learned.
+	if got := p.OnAccess(br, 16); got != nil {
+		t.Fatalf("cold RPT predicted %v", got)
+	}
+	// Second encounter: the learned target block is prefetched.
+	got := p.OnAccess(br, 16)
+	if len(got) != 1 || got[0] != 0x2000/16 {
+		t.Fatalf("RPT should predict the learned target: %v", got)
+	}
+	// Non-branches never touch the RPT.
+	if got := p.OnAccess(ev(5, false, false), 16); got != nil {
+		t.Fatalf("non-branch triggered RPT: %v", got)
+	}
+}
+
+func TestTargetRPTDoesNotLearnFallThrough(t *testing.T) {
+	p := &Target{}
+	br := Event{PC: 0x1000, Block: 0x100, IsBranch: true, TakenPC: 0x2000, FallPC: 0x1004, NextPC: 0x1004}
+	p.OnAccess(br, 16)
+	if got := p.OnAccess(br, 16); got != nil {
+		t.Fatalf("RPT must not learn fall-through outcomes: %v", got)
+	}
+}
+
+func TestTargetReset(t *testing.T) {
+	p := &Target{}
+	br := Event{PC: 0x1000, IsBranch: true, TakenPC: 0x2000, NextPC: 0x2000}
+	p.OnAccess(br, 16)
+	p.Reset()
+	if got := p.OnAccess(br, 16); got != nil {
+		t.Fatalf("reset RPT still predicts: %v", got)
+	}
+}
+
+func TestWrongPathPrefetchesBothArms(t *testing.T) {
+	p := WrongPath{}
+	br := Event{PC: 0x1000, IsBranch: true, TakenPC: 0x2000, FallPC: 0x1004, NextPC: 0x1004}
+	got := p.OnAccess(br, 16)
+	if len(got) != 2 || got[0] != 0x2000/16 || got[1] != 0x1004/16 {
+		t.Fatalf("wrong-path: %v", got)
+	}
+	if got := p.OnAccess(ev(3, false, false), 16); got != nil {
+		t.Fatalf("non-branch triggered wrong-path: %v", got)
+	}
+}
+
+func TestAllHaveDistinctNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range All() {
+		n := p.Name()
+		if n == "" || names[n] {
+			t.Fatalf("duplicate or empty prefetcher name %q", n)
+		}
+		names[n] = true
+	}
+	if len(names) != 6 {
+		t.Fatalf("expected 6 baseline mechanisms, got %d", len(names))
+	}
+}

@@ -1,0 +1,441 @@
+// Package ilp is a from-scratch linear programming and integer linear
+// programming solver: a dense two-phase primal simplex with Bland's
+// anti-cycling rule, plus branch-and-bound for integrality. It exists to
+// solve the IPET formulations of WCET analysis (Section 3.2 of the paper),
+// whose constraint matrices are network-like and therefore solve quickly and
+// almost always integrally at the LP relaxation already.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the relational operator of a constraint.
+type Sense int
+
+const (
+	LE Sense = iota // ≤
+	GE              // ≥
+	EQ              // =
+)
+
+// String returns the operator glyph.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Constraint is a single linear constraint sum(Coeffs[i]*x_i) Sense RHS.
+// Coeffs is sparse: absent variables have coefficient zero.
+type Constraint struct {
+	Coeffs map[int]float64
+	Sense  Sense
+	RHS    float64
+	Name   string // optional, for diagnostics
+}
+
+// Problem is a maximization problem over non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // length NumVars; maximize Objective · x
+	Constraints []Constraint
+	Integer     []bool // nil, or length NumVars: which variables are integral
+}
+
+// Solution is an optimal assignment.
+type Solution struct {
+	X         []float64
+	Objective float64
+}
+
+// ErrInfeasible is returned when no assignment satisfies the constraints.
+var ErrInfeasible = errors.New("ilp: infeasible")
+
+// ErrUnbounded is returned when the objective can grow without limit.
+var ErrUnbounded = errors.New("ilp: unbounded")
+
+const eps = 1e-7
+
+// NewProblem returns an empty maximization problem with n variables.
+func NewProblem(n int) *Problem {
+	return &Problem{NumVars: n, Objective: make([]float64, n)}
+}
+
+// AddConstraint appends a constraint.
+func (p *Problem) AddConstraint(c Constraint) { p.Constraints = append(p.Constraints, c) }
+
+// Le is shorthand for adding sum(coeffs·x) ≤ rhs.
+func (p *Problem) Le(coeffs map[int]float64, rhs float64, name string) {
+	p.AddConstraint(Constraint{Coeffs: coeffs, Sense: LE, RHS: rhs, Name: name})
+}
+
+// Eq is shorthand for adding sum(coeffs·x) = rhs.
+func (p *Problem) Eq(coeffs map[int]float64, rhs float64, name string) {
+	p.AddConstraint(Constraint{Coeffs: coeffs, Sense: EQ, RHS: rhs, Name: name})
+}
+
+// SolveLP solves the LP relaxation with a two-phase dense simplex.
+func (p *Problem) SolveLP() (*Solution, error) {
+	t, err := newTableau(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.phase1(); err != nil {
+		return nil, err
+	}
+	if err := t.phase2(); err != nil {
+		return nil, err
+	}
+	x := t.extract()
+	return &Solution{X: x, Objective: dot(p.Objective, x)}, nil
+}
+
+// SolveILP solves the problem with branch-and-bound over the variables
+// marked integral. Problems without integral variables degenerate to
+// SolveLP.
+func (p *Problem) SolveILP() (*Solution, error) {
+	if p.Integer == nil {
+		return p.SolveLP()
+	}
+	best := (*Solution)(nil)
+	var solve func(extra []Constraint) error
+	solve = func(extra []Constraint) error {
+		sub := &Problem{
+			NumVars:     p.NumVars,
+			Objective:   p.Objective,
+			Constraints: append(append([]Constraint(nil), p.Constraints...), extra...),
+		}
+		sol, err := sub.SolveLP()
+		if errors.Is(err, ErrInfeasible) {
+			return nil // prune
+		}
+		if err != nil {
+			return err
+		}
+		if best != nil && sol.Objective <= best.Objective+eps {
+			return nil // bound
+		}
+		frac := -1
+		for i := 0; i < p.NumVars; i++ {
+			if p.Integer[i] && math.Abs(sol.X[i]-math.Round(sol.X[i])) > eps {
+				frac = i
+				break
+			}
+		}
+		if frac == -1 {
+			rounded := make([]float64, len(sol.X))
+			for i, v := range sol.X {
+				if p.Integer != nil && i < len(p.Integer) && p.Integer[i] {
+					rounded[i] = math.Round(v)
+				} else {
+					rounded[i] = v
+				}
+			}
+			best = &Solution{X: rounded, Objective: dot(p.Objective, rounded)}
+			return nil
+		}
+		v := sol.X[frac]
+		lo := Constraint{Coeffs: map[int]float64{frac: 1}, Sense: LE, RHS: math.Floor(v)}
+		hi := Constraint{Coeffs: map[int]float64{frac: 1}, Sense: GE, RHS: math.Ceil(v)}
+		if err := solve(append(append([]Constraint(nil), extra...), hi)); err != nil {
+			return err
+		}
+		return solve(append(append([]Constraint(nil), extra...), lo))
+	}
+	if err := solve(nil); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// tableau is the dense simplex tableau. Columns are laid out as
+// [structural | slack/surplus | artificial | rhs]; rows one per constraint
+// plus the objective row last.
+type tableau struct {
+	m, n      int // constraints, structural variables
+	cols      int // total columns excluding rhs
+	nArt      int
+	a         [][]float64 // m rows × (cols+1); last column is rhs
+	basis     []int       // basis[r] = column basic in row r
+	obj       []float64   // phase-2 objective over all columns
+	artStart  int
+	structObj []float64
+}
+
+func newTableau(p *Problem) (*tableau, error) {
+	if len(p.Objective) != p.NumVars {
+		return nil, fmt.Errorf("ilp: objective length %d != NumVars %d", len(p.Objective), p.NumVars)
+	}
+	m := len(p.Constraints)
+	n := p.NumVars
+
+	// Count slack and artificial columns.
+	nSlack := 0
+	for _, c := range p.Constraints {
+		if c.Sense != EQ {
+			nSlack++
+		}
+	}
+	t := &tableau{m: m, n: n}
+	t.artStart = n + nSlack
+	t.cols = n + nSlack // artificials appended lazily below
+	rows := make([][]float64, m)
+
+	slackIdx := 0
+	type rowInfo struct {
+		needsArt bool
+	}
+	info := make([]rowInfo, m)
+	for r, c := range p.Constraints {
+		row := make([]float64, n+nSlack+1)
+		for v, coef := range c.Coeffs {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("ilp: constraint %q references variable %d outside [0,%d)", c.Name, v, n)
+			}
+			row[v] += coef
+		}
+		row[n+nSlack] = c.RHS
+		sense := c.Sense
+		// Normalize to non-negative rhs.
+		if row[n+nSlack] < 0 {
+			for i := range row {
+				row[i] = -row[i]
+			}
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			row[n+slackIdx] = 1
+			slackIdx++
+		case GE:
+			row[n+slackIdx] = -1
+			slackIdx++
+			info[r].needsArt = true
+		case EQ:
+			info[r].needsArt = true
+		}
+		rows[r] = row
+	}
+
+	// A LE row with non-negative rhs starts basic in its slack; others get
+	// artificial variables.
+	nArt := 0
+	for r := range info {
+		if info[r].needsArt {
+			nArt++
+		}
+	}
+	t.nArt = nArt
+	t.cols = n + nSlack + nArt
+	t.a = make([][]float64, m)
+	t.basis = make([]int, m)
+	artIdx := 0
+	for r, row := range rows {
+		full := make([]float64, t.cols+1)
+		copy(full, row[:n+nSlack])
+		full[t.cols] = row[n+nSlack]
+		if info[r].needsArt {
+			full[t.artStart+artIdx] = 1
+			t.basis[r] = t.artStart + artIdx
+			artIdx++
+		} else {
+			// The slack of this row is its basic variable: find it.
+			b := -1
+			for j := n; j < n+nSlack; j++ {
+				if full[j] == 1 {
+					isBasicElsewhere := false
+					for r2 := 0; r2 < r; r2++ {
+						if t.basis[r2] == j {
+							isBasicElsewhere = true
+							break
+						}
+					}
+					if !isBasicElsewhere {
+						b = j
+						break
+					}
+				}
+			}
+			if b == -1 {
+				return nil, errors.New("ilp: internal error finding basic slack")
+			}
+			t.basis[r] = b
+		}
+		t.a[r] = full
+	}
+
+	t.structObj = make([]float64, t.cols)
+	copy(t.structObj, p.Objective)
+	return t, nil
+}
+
+// phase1 drives the artificial variables to zero.
+func (t *tableau) phase1() error {
+	if t.nArt == 0 {
+		return nil
+	}
+	// Phase-1 objective: minimize sum of artificials == maximize -sum.
+	obj := make([]float64, t.cols)
+	for j := t.artStart; j < t.artStart+t.nArt; j++ {
+		obj[j] = -1
+	}
+	val, err := t.optimize(obj)
+	if err != nil {
+		return err
+	}
+	if val < -eps {
+		return ErrInfeasible
+	}
+	// Pivot any artificial still basic (at zero) out of the basis.
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] < t.artStart || t.basis[r] >= t.artStart+t.nArt {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[r][j]) > eps {
+				t.pivot(r, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row; leave the zero artificial basic, it can never
+			// grow because its column will be excluded in phase 2.
+			_ = pivoted
+		}
+	}
+	return nil
+}
+
+func (t *tableau) phase2() error {
+	_, err := t.optimize(t.structObj)
+	return err
+}
+
+// optimize runs primal simplex for the given objective (maximization) and
+// returns the optimal objective value.
+func (t *tableau) optimize(obj []float64) (float64, error) {
+	// reduced[j] = obj[j] - sum over rows of obj[basis[r]] * a[r][j]
+	for iter := 0; ; iter++ {
+		if iter > 20000+50*(t.m+t.cols) {
+			return 0, errors.New("ilp: simplex iteration limit exceeded")
+		}
+		// Compute reduced costs; choose entering column by Bland's rule.
+		enter := -1
+		for j := 0; j < t.cols; j++ {
+			if t.isArtificial(j) && !t.objUsesArtificials(obj) {
+				continue
+			}
+			rc := obj[j]
+			for r := 0; r < t.m; r++ {
+				b := t.basis[r]
+				if b < len(obj) && obj[b] != 0 {
+					rc -= obj[b] * t.a[r][j]
+				}
+			}
+			if rc > eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			// Optimal: compute objective value.
+			val := 0.0
+			for r := 0; r < t.m; r++ {
+				b := t.basis[r]
+				if b < len(obj) {
+					val += obj[b] * t.a[r][t.cols]
+				}
+			}
+			return val, nil
+		}
+		// Ratio test; Bland's rule ties broken by smallest basis column.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for r := 0; r < t.m; r++ {
+			if t.a[r][enter] > eps {
+				ratio := t.a[r][t.cols] / t.a[r][enter]
+				if ratio < bestRatio-eps || (math.Abs(ratio-bestRatio) <= eps && (leave == -1 || t.basis[r] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = r
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *tableau) isArtificial(j int) bool { return j >= t.artStart && j < t.artStart+t.nArt }
+
+func (t *tableau) objUsesArtificials(obj []float64) bool {
+	for j := t.artStart; j < t.artStart+t.nArt; j++ {
+		if obj[j] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tableau) pivot(r, c int) {
+	pv := t.a[r][c]
+	row := t.a[r]
+	for j := range row {
+		row[j] /= pv
+	}
+	for r2 := 0; r2 < t.m; r2++ {
+		if r2 == r {
+			continue
+		}
+		f := t.a[r2][c]
+		if f == 0 {
+			continue
+		}
+		for j := range t.a[r2] {
+			t.a[r2][j] -= f * row[j]
+		}
+	}
+	t.basis[r] = c
+}
+
+func (t *tableau) extract() []float64 {
+	x := make([]float64, t.n)
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] < t.n {
+			x[t.basis[r]] = t.a[r][t.cols]
+		}
+	}
+	for i, v := range x {
+		if math.Abs(v) < eps {
+			x[i] = 0
+		}
+	}
+	return x
+}

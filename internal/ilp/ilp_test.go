@@ -1,0 +1,258 @@
+package ilp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-5 }
+
+func TestSimpleLP(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 → x=4, y=0, obj=12.
+	p := NewProblem(2)
+	p.Objective = []float64{3, 2}
+	p.Le(map[int]float64{0: 1, 1: 1}, 4, "c1")
+	p.Le(map[int]float64{0: 1, 1: 3}, 6, "c2")
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Objective, 12) {
+		t.Fatalf("objective = %v", sol.Objective)
+	}
+	if !almost(sol.X[0], 4) || !almost(sol.X[1], 0) {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestLPWithEquality(t *testing.T) {
+	// max x + y s.t. x + y = 3, x <= 2 → obj 3.
+	p := NewProblem(2)
+	p.Objective = []float64{1, 1}
+	p.Eq(map[int]float64{0: 1, 1: 1}, 3, "sum")
+	p.Le(map[int]float64{0: 1}, 2, "xcap")
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Objective, 3) {
+		t.Fatalf("objective = %v", sol.Objective)
+	}
+}
+
+func TestLPWithGE(t *testing.T) {
+	// max -x (i.e. minimize x) s.t. x >= 2.5 → x = 2.5.
+	p := NewProblem(1)
+	p.Objective = []float64{-1}
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1}, Sense: GE, RHS: 2.5})
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.X[0], 2.5) {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.Objective = []float64{1}
+	p.Le(map[int]float64{0: 1}, 1, "hi")
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1}, Sense: GE, RHS: 2})
+	if _, err := p.SolveLP(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want infeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.Objective = []float64{1}
+	if _, err := p.SolveLP(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want unbounded", err)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -1 with x,y >= 0 means y >= x + 1; max x + y with y <= 5:
+	// best x = 4, y = 5.
+	p := NewProblem(2)
+	p.Objective = []float64{1, 1}
+	p.Le(map[int]float64{0: 1, 1: -1}, -1, "neg")
+	p.Le(map[int]float64{1: 1}, 5, "ycap")
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Objective, 9) {
+		t.Fatalf("objective = %v (x=%v)", sol.Objective, sol.X)
+	}
+}
+
+func TestILPBranching(t *testing.T) {
+	// max x + y s.t. 2x + 2y <= 5 → LP gives 2.5, ILP must give 2.
+	p := NewProblem(2)
+	p.Objective = []float64{1, 1}
+	p.Le(map[int]float64{0: 2, 1: 2}, 5, "cap")
+	p.Integer = []bool{true, true}
+	sol, err := p.SolveILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Objective, 2) {
+		t.Fatalf("ILP objective = %v", sol.Objective)
+	}
+}
+
+func TestILPKnapsack(t *testing.T) {
+	// Knapsack: values {6,5,4}, weights {5,4,3}, capacity 7, x_i ∈ {0,1}.
+	// Optimum: items 2 and 3 → value 9.
+	p := NewProblem(3)
+	p.Objective = []float64{6, 5, 4}
+	p.Le(map[int]float64{0: 5, 1: 4, 2: 3}, 7, "cap")
+	for i := 0; i < 3; i++ {
+		p.Le(map[int]float64{i: 1}, 1, "bin")
+	}
+	p.Integer = []bool{true, true, true}
+	sol, err := p.SolveILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Objective, 9) {
+		t.Fatalf("knapsack = %v (x=%v)", sol.Objective, sol.X)
+	}
+}
+
+func TestDegenerateConstraintDoesNotCycle(t *testing.T) {
+	// A classic degenerate instance; Bland's rule must terminate.
+	p := NewProblem(4)
+	p.Objective = []float64{0.75, -150, 0.02, -6}
+	p.Le(map[int]float64{0: 0.25, 1: -60, 2: -0.04, 3: 9}, 0, "")
+	p.Le(map[int]float64{0: 0.5, 1: -90, 2: -0.02, 3: 3}, 0, "")
+	p.Le(map[int]float64{2: 1}, 1, "")
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Objective, 0.05) {
+		t.Fatalf("objective = %v, want 0.05", sol.Objective)
+	}
+}
+
+// Property: the LP optimum of max Σx_i over random ≤-constraints is an upper
+// bound for any feasible point found by rounding the solution down, and the
+// solution satisfies every constraint.
+func TestLPSolutionFeasibility(t *testing.T) {
+	f := func(seedRows []uint8) bool {
+		nv := 3
+		p := NewProblem(nv)
+		for i := 0; i < nv; i++ {
+			p.Objective[i] = 1
+		}
+		// Bounded box so the LP is never unbounded.
+		for i := 0; i < nv; i++ {
+			p.Le(map[int]float64{i: 1}, 10, "box")
+		}
+		for r, b := range seedRows {
+			if r >= 4 {
+				break
+			}
+			co := map[int]float64{}
+			for i := 0; i < nv; i++ {
+				co[i] = float64((int(b)>>uint(i))&3) / 2
+			}
+			p.Le(co, float64(3+int(b)%7), "rand")
+		}
+		sol, err := p.SolveLP()
+		if err != nil {
+			return false
+		}
+		for _, c := range p.Constraints {
+			lhs := 0.0
+			for v, coef := range c.Coeffs {
+				lhs += coef * sol.X[v]
+			}
+			if c.Sense == LE && lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		for _, x := range sol.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ILP optimum ≤ LP optimum, and ILP solutions are integral.
+func TestILPBoundedByLP(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		p := NewProblem(2)
+		p.Objective = []float64{float64(a%5 + 1), float64(b%5 + 1)}
+		p.Le(map[int]float64{0: 2, 1: 3}, float64(c%20+1), "cap")
+		p.Le(map[int]float64{0: 1}, 8, "box0")
+		p.Le(map[int]float64{1: 1}, 8, "box1")
+		lp, err := p.SolveLP()
+		if err != nil {
+			return false
+		}
+		p.Integer = []bool{true, true}
+		ilpSol, err := p.SolveILP()
+		if err != nil {
+			return false
+		}
+		if ilpSol.Objective > lp.Objective+1e-6 {
+			return false
+		}
+		for _, x := range ilpSol.X {
+			if math.Abs(x-math.Round(x)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualityOnlySystem(t *testing.T) {
+	// x + y = 4, x - y = 2 → x=3, y=1 (unique feasible point).
+	p := NewProblem(2)
+	p.Objective = []float64{1, 0}
+	p.Eq(map[int]float64{0: 1, 1: 1}, 4, "sum")
+	p.Eq(map[int]float64{0: 1, 1: -1}, 2, "diff")
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.X[0], 3) || !almost(sol.X[1], 1) {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	p := NewProblem(1)
+	p.Le(map[int]float64{0: 1}, 5, "cap")
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Objective, 0) {
+		t.Fatalf("objective = %v", sol.Objective)
+	}
+}
+
+func TestConstraintVariableOutOfRange(t *testing.T) {
+	p := NewProblem(1)
+	p.Objective = []float64{1}
+	p.Le(map[int]float64{3: 1}, 5, "oops")
+	if _, err := p.SolveLP(); err == nil {
+		t.Fatal("out-of-range variable must be rejected")
+	}
+}

@@ -1,0 +1,231 @@
+// Package ipet builds the Implicit Path Enumeration Technique formulation of
+// WCET analysis (Section 3.2–3.3 of the paper) over the VIVU-expanded graph:
+// an integer linear program whose variables are edge execution counts, whose
+// constraints encode flow conservation and the loop bounds, and whose
+// objective maximizes the memory contribution Σ t_w(bb)·n_bb. The program is
+// solved by the from-scratch solver in internal/ilp.
+//
+// The fast structural solver in internal/wcet computes the same optimum for
+// the reducible graphs our builder produces; this package is the reference
+// implementation the structural solver is validated against.
+package ipet
+
+import (
+	"fmt"
+	"math"
+
+	"ucp/internal/ilp"
+	"ucp/internal/vivu"
+)
+
+// Formulation is an IPET instance for one expanded program.
+type Formulation struct {
+	X *vivu.Prog
+	// Cost[xb] is the WCET-scenario time contribution of one execution of
+	// expanded block xb (the t_w(bb) of Equation 1).
+	Cost []int64
+
+	prob *ilp.Problem
+	// edgeVar[from] aligns with X.Blocks[from].Succs.
+	edgeVar  [][]int
+	entryVar int
+	exitVars []int
+	nVars    int
+}
+
+// Build constructs the ILP for the expanded program x with the given
+// per-block costs.
+func Build(x *vivu.Prog, cost []int64) (*Formulation, error) {
+	return BuildExtra(x, cost, nil)
+}
+
+// BuildExtra additionally accepts per-block one-time costs charged once per
+// entry of the residual loop region containing the block — the encoding of
+// first-miss (persistence) classifications. The charge attaches to the
+// region's entry flow: the non-back edges into its HeadRest block.
+func BuildExtra(x *vivu.Prog, cost, extra []int64) (*Formulation, error) {
+	if len(cost) != len(x.Blocks) {
+		return nil, fmt.Errorf("ipet: cost vector length %d != %d blocks", len(cost), len(x.Blocks))
+	}
+	if extra != nil && len(extra) != len(x.Blocks) {
+		return nil, fmt.Errorf("ipet: extra vector length %d != %d blocks", len(extra), len(x.Blocks))
+	}
+	f := &Formulation{X: x, Cost: cost}
+
+	// Allocate one variable per edge, plus a virtual entry edge and one
+	// virtual exit edge per sink block.
+	f.edgeVar = make([][]int, len(x.Blocks))
+	n := 0
+	for _, xb := range x.Blocks {
+		vars := make([]int, len(xb.Succs))
+		for i := range xb.Succs {
+			vars[i] = n
+			n++
+		}
+		f.edgeVar[xb.ID] = vars
+	}
+	f.entryVar = n
+	n++
+	for _, xb := range x.Blocks {
+		if len(xb.Succs) == 0 {
+			f.exitVars = append(f.exitVars, n)
+			n++
+		}
+	}
+	f.nVars = n
+
+	prob := ilp.NewProblem(n)
+	// Objective: Σ cost(b) · n_b, with n_b expressed as the inflow of b.
+	inflow := make([]map[int]float64, len(x.Blocks))
+	for id := range inflow {
+		inflow[id] = map[int]float64{}
+	}
+	for _, xb := range x.Blocks {
+		for i, e := range xb.Succs {
+			inflow[e.To][f.edgeVar[xb.ID][i]] = 1
+		}
+	}
+	inflow[x.Entry][f.entryVar] = 1
+	for id, terms := range inflow {
+		for v, c := range terms {
+			prob.Objective[v] += float64(cost[id]) * c
+		}
+	}
+
+	// Flow conservation: inflow(b) = outflow(b) for every block.
+	exitIdx := 0
+	for _, xb := range x.Blocks {
+		coeffs := map[int]float64{}
+		for v, c := range inflow[xb.ID] {
+			coeffs[v] += c
+		}
+		if len(xb.Succs) == 0 {
+			coeffs[f.exitVars[exitIdx]] -= 1
+			exitIdx++
+		}
+		for i := range xb.Succs {
+			coeffs[f.edgeVar[xb.ID][i]] -= 1
+		}
+		prob.Eq(coeffs, 0, fmt.Sprintf("flow@%d", xb.ID))
+	}
+
+	// The program executes exactly once.
+	prob.Eq(map[int]float64{f.entryVar: 1}, 1, "entry")
+
+	// Per-entry one-time charges (first-miss classifications): each
+	// residual region's aggregate extra rides on its entry flow.
+	if extra != nil {
+		for _, inst := range x.Loops {
+			if inst.HeadRest == -1 {
+				continue
+			}
+			var regionExtra float64
+			for _, xb := range x.RegionMembers(inst) {
+				// Attribute each block's charge to its *innermost* region
+				// only; enclosing regions would double-count it (their
+				// entries subsume the inner entries).
+				if len(x.Blocks[xb].Ctx) == len(inst.Enclosing)+1 {
+					regionExtra += float64(extra[xb])
+				}
+			}
+			if regionExtra == 0 {
+				continue
+			}
+			for _, p := range x.Blocks[inst.HeadRest].Preds {
+				pb := x.Blocks[p]
+				for i, e := range pb.Succs {
+					if e.To == inst.HeadRest && !e.Back {
+						prob.Objective[f.edgeVar[p][i]] += regionExtra
+					}
+				}
+			}
+		}
+	}
+
+	// Loop bounds: the residual back-edge flow into HeadRest is at most
+	// (bound−1) times the flow entering HeadFirst, and the F→R entry flow
+	// into HeadRest is also at most the HeadFirst entries (the body runs at
+	// most once in its first-iteration context per loop entry).
+	for _, inst := range x.Loops {
+		headEntry := map[int]float64{}
+		for _, p := range x.Blocks[inst.HeadFirst].Preds {
+			pb := x.Blocks[p]
+			for i, e := range pb.Succs {
+				if e.To == inst.HeadFirst {
+					headEntry[f.edgeVar[p][i]] = 1
+				}
+			}
+		}
+		if inst.HeadFirst == x.Entry {
+			headEntry[f.entryVar] = 1
+		}
+		if inst.HeadRest == -1 {
+			continue
+		}
+		backIn := map[int]float64{}
+		for _, p := range x.Blocks[inst.HeadRest].Preds {
+			pb := x.Blocks[p]
+			for i, e := range pb.Succs {
+				if e.To != inst.HeadRest {
+					continue
+				}
+				if e.Back {
+					backIn[f.edgeVar[p][i]] += 1
+				}
+			}
+		}
+		coeffs := map[int]float64{}
+		for v, c := range backIn {
+			coeffs[v] += c
+		}
+		for v, c := range headEntry {
+			coeffs[v] -= float64(inst.Bound-1) * c
+		}
+		prob.Le(coeffs, 0, fmt.Sprintf("bound@loop%d/%s", inst.Orig, inst.Enclosing))
+	}
+
+	f.prob = prob
+	return f, nil
+}
+
+// Result is the solved WCET scenario.
+type Result struct {
+	// TauW is the memory contribution to the WCET (Equation 3).
+	TauW int64
+	// N[xb] is the execution count n_w of expanded block xb in the WCET
+	// scenario (Section 3.3).
+	N []int64
+}
+
+// Solve optimizes the formulation. The LP relaxation of an IPET instance on
+// these network-like matrices is integral in practice; Solve rounds the
+// solution and verifies integrality.
+func (f *Formulation) Solve() (*Result, error) {
+	sol, err := f.prob.SolveLP()
+	if err != nil {
+		return nil, fmt.Errorf("ipet: %w", err)
+	}
+	counts := make([]int64, len(f.X.Blocks))
+	for _, xb := range f.X.Blocks {
+		acc := 0.0
+		for _, p := range xb.Preds {
+			pb := f.X.Blocks[p]
+			for i, e := range pb.Succs {
+				if e.To == xb.ID {
+					acc += sol.X[f.edgeVar[p][i]]
+				}
+			}
+		}
+		if xb.ID == f.X.Entry {
+			acc += sol.X[f.entryVar]
+		}
+		counts[xb.ID] = int64(acc + 0.5)
+		if diff := acc - float64(counts[xb.ID]); diff > 1e-4 || diff < -1e-4 {
+			return nil, fmt.Errorf("ipet: non-integral count %g for block %d", acc, xb.ID)
+		}
+	}
+	// The objective carries the per-block costs and the per-entry
+	// first-miss charges, so the optimum itself is τ_w.
+	tau := int64(math.Round(sol.Objective))
+	return &Result{TauW: tau, N: counts}, nil
+}

@@ -1,0 +1,386 @@
+package isa
+
+// This file implements the textual program format: a tiny structured
+// assembly that mirrors the builder combinators, so benchmark programs and
+// user tasks can live in plain files instead of Go code. cmd/ucp-opt and
+// friends accept such files via -file.
+//
+// Grammar (newline-separated, '#' starts a comment):
+//
+//	program <name>
+//	  code <n>                     # n straight-line instructions
+//	  loop <bound> [avg <a>]       # bounded loop; avg defaults to bound
+//	    ...body...
+//	  end
+//	  if <prob>                    # two-way conditional
+//	    ...then...
+//	  else                         # optional
+//	    ...else...
+//	  end
+//	end
+//
+// Indentation is free-form; block structure comes from loop/if … end.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseAsm reads the textual program format and builds the program.
+func ParseAsm(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	var toks []asmLine
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		toks = append(toks, asmLine{no: lineNo, fields: fields})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	p := &asmParser{lines: toks}
+	return p.program()
+}
+
+// ParseAsmString is ParseAsm over a string.
+func ParseAsmString(s string) (*Program, error) { return ParseAsm(strings.NewReader(s)) }
+
+type asmLine struct {
+	no     int
+	fields []string
+}
+
+type asmParser struct {
+	lines []asmLine
+	pos   int
+}
+
+func (p *asmParser) errf(l asmLine, format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", l.no, fmt.Sprintf(format, args...))
+}
+
+func (p *asmParser) next() (asmLine, bool) {
+	if p.pos >= len(p.lines) {
+		return asmLine{}, false
+	}
+	l := p.lines[p.pos]
+	p.pos++
+	return l, true
+}
+
+func (p *asmParser) peek() (asmLine, bool) {
+	if p.pos >= len(p.lines) {
+		return asmLine{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+func (p *asmParser) program() (*Program, error) {
+	l, ok := p.next()
+	if !ok || l.fields[0] != "program" || len(l.fields) != 2 {
+		return nil, fmt.Errorf("asm: expected `program <name>` header")
+	}
+	name := l.fields[1]
+	body, err := p.nodes()
+	if err != nil {
+		return nil, err
+	}
+	end, ok := p.next()
+	if !ok || end.fields[0] != "end" {
+		return nil, fmt.Errorf("asm: missing final `end` for program %q", name)
+	}
+	if extra, ok := p.peek(); ok {
+		return nil, p.errf(extra, "trailing input after program end")
+	}
+	var prog *Program
+	err = capturePanic(func() { prog = Build(name, body...) })
+	if err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return prog, nil
+}
+
+// nodes parses statements until an `end` or `else` (not consumed).
+func (p *asmParser) nodes() ([]Node, error) {
+	var out []Node
+	for {
+		l, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("asm: unexpected end of input (missing `end`?)")
+		}
+		switch l.fields[0] {
+		case "end", "else":
+			return out, nil
+		case "code":
+			p.next()
+			if len(l.fields) != 2 {
+				return nil, p.errf(l, "usage: code <n>")
+			}
+			n, err := strconv.Atoi(l.fields[1])
+			if err != nil || n < 0 {
+				return nil, p.errf(l, "bad instruction count %q", l.fields[1])
+			}
+			out = append(out, Code(n))
+		case "loop":
+			p.next()
+			node, err := p.loop(l)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, node)
+		case "if":
+			p.next()
+			node, err := p.conditional(l)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, node)
+		default:
+			return nil, p.errf(l, "unknown statement %q", l.fields[0])
+		}
+	}
+}
+
+func (p *asmParser) loop(l asmLine) (Node, error) {
+	if len(l.fields) != 2 && !(len(l.fields) == 4 && l.fields[2] == "avg") {
+		return nil, p.errf(l, "usage: loop <bound> [avg <a>]")
+	}
+	bound, err := strconv.Atoi(l.fields[1])
+	if err != nil || bound < 1 {
+		return nil, p.errf(l, "bad loop bound %q", l.fields[1])
+	}
+	avg := float64(bound)
+	if len(l.fields) == 4 {
+		avg, err = strconv.ParseFloat(l.fields[3], 64)
+		if err != nil || avg < 0 || avg > float64(bound) {
+			return nil, p.errf(l, "bad average iteration count %q", l.fields[3])
+		}
+	}
+	body, err := p.nodes()
+	if err != nil {
+		return nil, err
+	}
+	end, ok := p.next()
+	if !ok || end.fields[0] != "end" {
+		return nil, p.errf(l, "loop not closed with `end`")
+	}
+	return Loop(bound, avg, body...), nil
+}
+
+func (p *asmParser) conditional(l asmLine) (Node, error) {
+	if len(l.fields) != 2 {
+		return nil, p.errf(l, "usage: if <taken-probability>")
+	}
+	prob, err := strconv.ParseFloat(l.fields[1], 64)
+	if err != nil || prob < 0 || prob > 1 {
+		return nil, p.errf(l, "bad probability %q", l.fields[1])
+	}
+	then, err := p.nodes()
+	if err != nil {
+		return nil, err
+	}
+	var els []Node
+	if nl, ok := p.peek(); ok && nl.fields[0] == "else" {
+		p.next()
+		els, err = p.nodes()
+		if err != nil {
+			return nil, err
+		}
+	}
+	end, ok := p.next()
+	if !ok || end.fields[0] != "end" {
+		return nil, p.errf(l, "if not closed with `end`")
+	}
+	return If(prob, then, els), nil
+}
+
+func capturePanic(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	f()
+	return nil
+}
+
+// WriteAsm serializes a structured program back to the textual format. Only
+// programs with the shapes the builder produces can be serialized; it
+// returns an error for irregular control flow (hand-built CFGs) and for
+// programs already carrying prefetch instructions.
+func WriteAsm(w io.Writer, p *Program) error {
+	s := &asmWriter{p: p, w: w}
+	fmt.Fprintf(w, "program %s\n", p.Name)
+	if err := s.region(p.Entry, -1, 1); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "end")
+	return nil
+}
+
+type asmWriter struct {
+	p *Program
+	w io.Writer
+}
+
+func (s *asmWriter) indent(depth int) string { return strings.Repeat("  ", depth) }
+
+// region emits the chain of blocks from id until stop (exclusive), following
+// the shapes Build generates.
+func (s *asmWriter) region(id, stop, depth int) error {
+	p := s.p
+	for id != stop {
+		b := p.Blocks[id]
+		plain := len(b.Instrs)
+		term := b.Terminator().Kind
+		if term == KindBranch || term == KindJump {
+			plain--
+		}
+		// Build adds one synthetic prologue and epilogue instruction; they
+		// must not be re-serialized or every round trip would grow by two.
+		if id == p.Entry {
+			plain--
+		}
+		if len(b.Succs) == 0 {
+			plain--
+		}
+		for _, in := range b.Instrs {
+			if in.Kind == KindPrefetch || in.Kind == KindPad {
+				return fmt.Errorf("asm: cannot serialize optimized programs (prefetch present)")
+			}
+		}
+		if plain > 0 {
+			fmt.Fprintf(s.w, "%scode %d\n", s.indent(depth), plain)
+		}
+		switch term {
+		case KindBranch:
+			li := s.loopHeadedBy(id)
+			if li >= 0 {
+				// Emitted by the caller via the loop construct.
+				return fmt.Errorf("asm: unexpected loop header in region at block %d", id)
+			}
+			join, err := s.emitIf(b, depth)
+			if err != nil {
+				return err
+			}
+			id = join
+		case KindJump:
+			next := b.Succs[0]
+			if next == stop {
+				// The region-closing jump (an arm end or a loop latch's
+				// back edge); the caller continues from here.
+				return nil
+			}
+			if li := s.loopHeadedBy(next); li >= 0 {
+				exit, err := s.emitLoop(li, depth)
+				if err != nil {
+					return err
+				}
+				id = exit
+				continue
+			}
+			id = next
+		default:
+			return nil // sink
+		}
+	}
+	return nil
+}
+
+func (s *asmWriter) loopHeadedBy(id int) int {
+	for li := range s.p.Loops {
+		if s.p.Loops[li].Head == id {
+			return li
+		}
+	}
+	return -1
+}
+
+func (s *asmWriter) emitLoop(li, depth int) (exit int, err error) {
+	l := s.p.Loops[li]
+	head := s.p.Blocks[l.Head]
+	if len(head.Succs) != 2 {
+		return 0, fmt.Errorf("asm: loop %d header malformed", li)
+	}
+	if l.AvgIters == float64(l.Bound) {
+		fmt.Fprintf(s.w, "%sloop %d\n", s.indent(depth), l.Bound)
+	} else {
+		fmt.Fprintf(s.w, "%sloop %d avg %g\n", s.indent(depth), l.Bound, l.AvgIters)
+	}
+	if err := s.region(head.Succs[0], l.Head, depth+1); err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(s.w, "%send\n", s.indent(depth))
+	return head.Succs[1], nil
+}
+
+func (s *asmWriter) emitIf(b *Block, depth int) (join int, err error) {
+	fmt.Fprintf(s.w, "%sif %g\n", s.indent(depth), b.TakenProb)
+	thenEntry, elseTarget := b.Succs[0], b.Succs[1]
+	join = s.joinOf(thenEntry)
+	if err := s.region(thenEntry, join, depth+1); err != nil {
+		return 0, err
+	}
+	if elseTarget != join {
+		fmt.Fprintf(s.w, "%selse\n", s.indent(depth))
+		if err := s.region(elseTarget, join, depth+1); err != nil {
+			return 0, err
+		}
+	}
+	fmt.Fprintf(s.w, "%send\n", s.indent(depth))
+	return join, nil
+}
+
+// joinOf finds where an if-arm rejoins: the target of the arm's final jump.
+func (s *asmWriter) joinOf(entry int) int {
+	id := entry
+	for steps := 0; steps < len(s.p.Blocks)*4; steps++ {
+		b := s.p.Blocks[id]
+		switch b.Terminator().Kind {
+		case KindJump:
+			next := b.Succs[0]
+			if li := s.loopHeadedBy(next); li >= 0 {
+				id = s.p.Blocks[next].Succs[1] // loop exit
+				continue
+			}
+			// A jump whose target we can only confirm as the join by
+			// structure: the builder ends each arm with a jump to the join.
+			if s.isArmEnd(id) {
+				return next
+			}
+			id = next
+		case KindBranch:
+			// Nested if inside the arm: skip to its join.
+			id = s.joinOf(b.Succs[0])
+		default:
+			return id // ran into a sink
+		}
+	}
+	return id
+}
+
+// isArmEnd reports whether the block's jump is the arm-closing jump (its
+// target has multiple predecessors — a join block).
+func (s *asmWriter) isArmEnd(id int) bool {
+	target := s.p.Blocks[id].Succs[0]
+	preds := 0
+	for _, b := range s.p.Blocks {
+		for _, v := range b.Succs {
+			if v == target {
+				preds++
+			}
+		}
+	}
+	return preds >= 2
+}

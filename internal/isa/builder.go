@@ -1,0 +1,305 @@
+package isa
+
+import "fmt"
+
+// The structured builder constructs reducible programs from a small
+// combinator language (straight-line code, if/else, bounded loops). All 37
+// benchmark programs in internal/malardalen are written with it, and the
+// structure it records (loop headers, members, bounds) is what the VIVU
+// transformation and the IPET formulation consume.
+
+// Node is one element of the structured program tree.
+type Node interface {
+	lower(lw *lowerer)
+}
+
+type codeNode struct{ n int }
+
+type ifNode struct {
+	prob      float64
+	then, els []Node
+}
+
+type loopNode struct {
+	bound    int
+	avgIters float64
+	body     []Node
+}
+
+// Code emits n straight-line instructions.
+func Code(n int) Node {
+	if n < 0 {
+		panic("isa: Code with negative length")
+	}
+	return codeNode{n: n}
+}
+
+// If emits a two-way conditional. prob is the probability, used by the
+// average-case driver, that the then-branch is taken. Either arm may be nil
+// or empty.
+func If(prob float64, then, els []Node) Node {
+	return ifNode{prob: prob, then: then, els: els}
+}
+
+// IfThen is If with an empty else arm.
+func IfThen(prob float64, then ...Node) Node { return ifNode{prob: prob, then: then} }
+
+// Loop emits a bounded natural loop: the body executes at most bound times
+// per entry, and on average avgIters times in the trace driver.
+func Loop(bound int, avgIters float64, body ...Node) Node {
+	if bound < 1 {
+		panic("isa: Loop bound must be at least 1")
+	}
+	if avgIters > float64(bound) {
+		panic("isa: Loop average iterations exceed the bound")
+	}
+	return loopNode{bound: bound, avgIters: avgIters, body: body}
+}
+
+// S groups nodes into a slice; a small convenience for If arms.
+func S(nodes ...Node) []Node { return nodes }
+
+// Switch emits a cascade of two-way conditionals approximating a k-way
+// switch: case i carries weight[i] relative probability and body cases[i].
+func Switch(weights []float64, cases ...[]Node) Node {
+	if len(weights) != len(cases) {
+		panic("isa: Switch weights and cases mismatch")
+	}
+	return buildSwitch(weights, cases)
+}
+
+func buildSwitch(weights []float64, cases [][]Node) Node {
+	if len(cases) == 1 {
+		return ifNode{prob: 1, then: cases[0]}
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	p := 0.0
+	if total > 0 {
+		p = weights[0] / total
+	}
+	rest := buildSwitch(weights[1:], cases[1:])
+	return ifNode{prob: p, then: cases[0], els: []Node{rest}}
+}
+
+type lowerer struct {
+	prog      *Program
+	cur       *Block
+	loopStack []int // indexes into prog.Loops of open loops
+}
+
+// Build lowers a structured program tree into a Program. The resulting
+// program always starts with a non-empty entry block and ends in a dedicated
+// sink block.
+func Build(name string, body ...Node) *Program {
+	lw := &lowerer{prog: &Program{Name: name, Entry: 0, Base: DefaultBaseAddr}}
+	lw.cur = lw.newBlock()
+	lw.cur.Align = DefaultLoopAlign
+	lw.emitOps(1) // program prologue
+	for _, n := range body {
+		n.lower(lw)
+	}
+	lw.emitOps(1) // program epilogue; guarantees a non-empty sink
+	if err := Validate(lw.prog); err != nil {
+		panic(fmt.Sprintf("isa: Build produced an invalid program: %v", err))
+	}
+	return lw.prog
+}
+
+func (lw *lowerer) newBlock() *Block {
+	b := &Block{ID: len(lw.prog.Blocks)}
+	lw.prog.Blocks = append(lw.prog.Blocks, b)
+	for _, li := range lw.loopStack {
+		lp := &lw.prog.Loops[li]
+		lp.Blocks = append(lp.Blocks, b.ID)
+	}
+	return b
+}
+
+func (lw *lowerer) emitOps(n int) {
+	for i := 0; i < n; i++ {
+		lw.cur.Instrs = append(lw.cur.Instrs, Instr{Kind: KindOp})
+	}
+}
+
+func (c codeNode) lower(lw *lowerer) { lw.emitOps(c.n) }
+
+func (f ifNode) lower(lw *lowerer) {
+	cond := lw.cur
+	cond.Instrs = append(cond.Instrs, Instr{Kind: KindBranch})
+	cond.TakenProb = f.prob
+
+	join := lw.newBlock()
+
+	thenEntry := lw.newBlock()
+	// Taken-branch targets are aligned like GCC's -falign-jumps does; the
+	// join is aligned too when it is only reachable by jumps (both arms
+	// exist), matching the "reached by jumping" rule.
+	thenEntry.Align = DefaultLoopAlign
+	if len(f.els) > 0 {
+		join.Align = DefaultLoopAlign
+	}
+	lw.cur = thenEntry
+	for _, n := range f.then {
+		n.lower(lw)
+	}
+	lw.cur.Instrs = append(lw.cur.Instrs, Instr{Kind: KindJump})
+	lw.cur.Succs = []int{join.ID}
+
+	elseTarget := join.ID
+	if len(f.els) > 0 {
+		elseEntry := lw.newBlock()
+		lw.cur = elseEntry
+		for _, n := range f.els {
+			n.lower(lw)
+		}
+		lw.cur.Instrs = append(lw.cur.Instrs, Instr{Kind: KindJump})
+		lw.cur.Succs = []int{join.ID}
+		elseTarget = elseEntry.ID
+	}
+	cond.Succs = []int{thenEntry.ID, elseTarget}
+	lw.cur = join
+}
+
+func (l loopNode) lower(lw *lowerer) {
+	pre := lw.cur
+	pre.Instrs = append(pre.Instrs, Instr{Kind: KindJump})
+
+	li := len(lw.prog.Loops)
+	parent := -1
+	if len(lw.loopStack) > 0 {
+		parent = lw.loopStack[len(lw.loopStack)-1]
+	}
+	lw.prog.Loops = append(lw.prog.Loops, LoopInfo{
+		Bound:    l.bound,
+		AvgIters: l.avgIters,
+		Parent:   parent,
+	})
+	lw.loopStack = append(lw.loopStack, li)
+
+	head := lw.newBlock()
+	head.Align = DefaultLoopAlign
+	head.Instrs = append(head.Instrs, Instr{Kind: KindOp}, Instr{Kind: KindBranch})
+	lw.prog.Loops[li].Head = head.ID
+
+	body := lw.newBlock()
+	body.Align = DefaultLoopAlign // taken target of the header branch
+	lw.cur = body
+	for _, n := range l.body {
+		n.lower(lw)
+	}
+	lw.cur.Instrs = append(lw.cur.Instrs, Instr{Kind: KindJump})
+	lw.cur.Succs = []int{head.ID} // back edge
+
+	lw.loopStack = lw.loopStack[:len(lw.loopStack)-1]
+
+	exit := lw.newBlock()
+	head.Succs = []int{body.ID, exit.ID}
+	pre.Succs = []int{head.ID}
+	lw.cur = exit
+}
+
+// Validate checks the structural invariants every pipeline stage relies on:
+// non-empty blocks, terminators consistent with the successor lists, valid
+// block references, loop annotations with sane bounds, and an entry that
+// reaches every block.
+func Validate(p *Program) error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("program %q has no blocks", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Blocks) {
+		return fmt.Errorf("program %q entry %d out of range", p.Name, p.Entry)
+	}
+	for i, b := range p.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("block %d carries ID %d", i, b.ID)
+		}
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %d is empty", i)
+		}
+		for j, in := range b.Instrs {
+			isTerm := j == len(b.Instrs)-1
+			switch in.Kind {
+			case KindBranch:
+				if !isTerm {
+					return fmt.Errorf("block %d: branch at non-terminator position %d", i, j)
+				}
+				if len(b.Succs) != 2 {
+					return fmt.Errorf("block %d: branch terminator with %d successors", i, len(b.Succs))
+				}
+			case KindJump:
+				if !isTerm {
+					return fmt.Errorf("block %d: jump at non-terminator position %d", i, j)
+				}
+				if len(b.Succs) != 1 {
+					return fmt.Errorf("block %d: jump terminator with %d successors", i, len(b.Succs))
+				}
+			case KindPrefetch:
+				t := in.Target
+				if t.Block < 0 || t.Block >= len(p.Blocks) {
+					return fmt.Errorf("block %d: prefetch target block %d out of range", i, t.Block)
+				}
+				if t.Index < 0 || t.Index >= len(p.Blocks[t.Block].Instrs) {
+					return fmt.Errorf("block %d: prefetch target index %d out of range", i, t.Index)
+				}
+			}
+		}
+		t := b.Terminator().Kind
+		if t != KindBranch && t != KindJump && len(b.Succs) > 1 {
+			return fmt.Errorf("block %d: fall-through with %d successors", i, len(b.Succs))
+		}
+		for _, s := range b.Succs {
+			if s < 0 || s >= len(p.Blocks) {
+				return fmt.Errorf("block %d: successor %d out of range", i, s)
+			}
+		}
+	}
+	for li, l := range p.Loops {
+		if l.Bound < 1 {
+			return fmt.Errorf("loop %d: bound %d < 1", li, l.Bound)
+		}
+		if l.AvgIters < 0 || l.AvgIters > float64(l.Bound) {
+			return fmt.Errorf("loop %d: average iterations %g outside [0,%d]", li, l.AvgIters, l.Bound)
+		}
+		if l.Head < 0 || l.Head >= len(p.Blocks) {
+			return fmt.Errorf("loop %d: head %d out of range", li, l.Head)
+		}
+		if l.Parent >= len(p.Loops) || l.Parent < -1 {
+			return fmt.Errorf("loop %d: parent %d out of range", li, l.Parent)
+		}
+		member := false
+		for _, b := range l.Blocks {
+			if b == l.Head {
+				member = true
+			}
+			if b < 0 || b >= len(p.Blocks) {
+				return fmt.Errorf("loop %d: member %d out of range", li, b)
+			}
+		}
+		if !member {
+			return fmt.Errorf("loop %d: head %d not among members", li, l.Head)
+		}
+	}
+	// Reachability from the entry.
+	seen := make([]bool, len(p.Blocks))
+	stack := []int{p.Entry}
+	seen[p.Entry] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range p.Blocks[b].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("block %d unreachable from entry", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,613 @@
+// Package malardalen provides the 37 benchmark programs of the evaluation
+// (the paper's Table 1). The originals are the C programs of the Mälardalen
+// WCET benchmark suite; since this reproduction works on a synthetic IR (see
+// DESIGN.md), each program is rebuilt with the builder combinators so that
+// its *control structure* — loop nesting, bounds, branchiness — and its
+// *relative code size* mirror the original. Cache and WCET behavior depend
+// on exactly those properties, not on the C semantics.
+//
+// Programs are listed alphabetically and labeled p1..p37 like the paper's
+// Table 1.
+package malardalen
+
+import (
+	"sort"
+
+	"ucp/internal/isa"
+)
+
+// Benchmark is one suite entry.
+type Benchmark struct {
+	// ID is the paper's label (p1..p37, alphabetical).
+	ID string
+	// Name is the Mälardalen program name.
+	Name string
+	// Prog is the synthetic reconstruction.
+	Prog *isa.Program
+	// Note says which traits of the original the reconstruction keeps.
+	Note string
+}
+
+type spec struct {
+	name  string
+	note  string
+	build func() *isa.Program
+}
+
+var specs = []spec{
+	{"adpcm", "ADPCM encoder/decoder: one sample loop over branchy quantizer sections with small inner filter loops", adpcm},
+	{"bs", "binary search over 15 entries: short data-dependent loop with a three-way decision", bs},
+	{"bsort100", "bubble sort of 100 elements: triangular double loop with a swap branch", bsort100},
+	{"cnt", "counts non-negatives in a 10×10 matrix: double loop with a sign branch", cnt},
+	{"compress", "data compression skeleton: scan loop with hash-hit branch and emit paths", compress},
+	{"cover", "coverage torture test: loops over very wide switch cascades", cover},
+	{"crc", "CRC over 40 bytes: byte loop with an 8-round bit loop and xor branch", crc},
+	{"duff", "Duff's device copy: unrolled straight-line switch entry plus residual loop", duff},
+	{"edn", "EDN DSP kernels: a sequence of FIR/latsynth style double loops", edn},
+	{"expint", "exponential integral: outer series loop with inner product loop and guard", expint},
+	{"fac", "factorial of 5, called for 6 values: two tiny nested loops", fac},
+	{"fdct", "fast DCT: two long unrolled straight-line passes", fdct},
+	{"fft1", "1024-point FFT: log-depth outer loop, butterfly double loop, twiddle branches", fft1},
+	{"fibcall", "iterative Fibonacci(30): one tiny counted loop", fibcall},
+	{"fir", "FIR filter over 700 samples with a 32-tap MAC loop", fir},
+	{"insertsort", "insertion sort of 10 keys: triangular nested loops with early-exit branch", insertsort},
+	{"janne_complex", "two nested loops whose trip counts interact through mode branches", janneComplex},
+	{"jfdctint", "integer JPEG DCT: two unrolled row/column passes", jfdctint},
+	{"lcdnum", "LCD digit driver: short loop over a 10-way switch", lcdnum},
+	{"lms", "LMS adaptive filter: sample loop with coefficient-update inner loop", lms},
+	{"ludcmp", "LU decomposition of a 6×6 system: triple nested triangular loops with pivot branches", ludcmp},
+	{"matmult", "20×20 matrix multiply: perfectly nested triple loop with a tiny MAC body", matmult},
+	{"minver", "3×3 matrix inversion: a chain of small loops and singularity branches", minver},
+	{"ndes", "DES-like block cipher: 16-round loop over permutation/sbox inner loops", ndes},
+	{"ns", "4-dimensional array search: four nested loops with a match branch", ns},
+	{"nsichneu", "Petri-net simulation: two automaton iterations over a very large guarded-action cascade", nsichneu},
+	{"prime", "primality test: trial-division loop with divisibility branches", prime},
+	{"qsort-exam", "quicksort of 20 floats: partition double loop under a depth loop (recursion flattened)", qsortExam},
+	{"qurt", "quadratic root finder: Newton iteration loop with discriminant branches", qurt},
+	{"recursion", "recursive Fibonacci, flattened to a bounded call-depth loop with branchy body", recursion},
+	{"select", "k-th smallest selection: partition loops like qsort but single-sided", selectKth},
+	{"sqrt", "integer square root by Newton iteration: one short loop with a convergence branch", sqrtProg},
+	{"st", "statistics package: five sequential passes (sum, mean, var, corr) over 1000 samples", st},
+	{"statemate", "generated statechart engine: one step loop over wide state-predicate cascades", statemate},
+	{"ud", "LU-based linear solver on a 5×5 system: forward/backward triangular loop nests", ud},
+	{"whet", "Whetstone-like synthetic: module loops around long arithmetic straight-line blocks", whet},
+	{"minmax", "min/max of three values: tiny branch diamond cascade, no loops", minmax},
+}
+
+// All builds the whole suite, alphabetically ordered with IDs assigned like
+// Table 1.
+func All() []Benchmark {
+	ss := append([]spec(nil), specs...)
+	sort.Slice(ss, func(i, j int) bool { return ss[i].name < ss[j].name })
+	out := make([]Benchmark, len(ss))
+	for i, s := range ss {
+		out[i] = Benchmark{
+			ID:   "p" + itoa(i+1),
+			Name: s.name,
+			Prog: s.build(),
+			Note: s.note,
+		}
+	}
+	return out
+}
+
+// ByName builds one benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Names lists the suite alphabetically.
+func Names() []string {
+	out := make([]string, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, s.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v -= v % 10
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Shorthand aliases to keep the program definitions readable.
+var (
+	c  = isa.Code
+	s  = isa.S
+	l  = isa.Loop
+	fi = isa.If
+	ft = isa.IfThen
+)
+
+func adpcm() *isa.Program {
+	// ~5.6 KB of text: one sample loop over branchy quantizer sections with
+	// small inner filter loops, preceded by large table-setup code.
+	quantize := fi(0.5,
+		s(c(120), ft(0.4, c(80))),
+		s(c(110), ft(0.6, c(60))),
+	)
+	return isa.Build("adpcm",
+		c(160), // setup, tables
+		l(240, 230,
+			c(90),
+			quantize,
+			l(6, 6, c(64)), // filter
+			fi(0.3, s(c(100)), s(c(50))),
+			l(4, 4, c(40)), // predictor update
+			c(70),
+		),
+		c(80),
+	)
+}
+
+func bs() *isa.Program {
+	return isa.Build("bs",
+		c(10),
+		l(4, 3, // log2(15) probes
+			c(8),
+			fi(0.4, s(c(6)), s(ft(0.5, c(5)), c(4))),
+		),
+		c(5),
+	)
+}
+
+func bsort100() *isa.Program {
+	return isa.Build("bsort100",
+		c(20),
+		l(100, 100,
+			c(10),
+			l(99, 99,
+				c(22),
+				ft(0.5, c(26)), // swap
+			),
+		),
+		c(10),
+	)
+}
+
+func cnt() *isa.Program {
+	return isa.Build("cnt",
+		c(22),
+		l(10, 10,
+			c(8),
+			l(10, 10,
+				c(14),
+				fi(0.85, s(c(12)), s(c(9))),
+			),
+		),
+		c(12),
+	)
+}
+
+func compress() *isa.Program {
+	return isa.Build("compress",
+		c(90),
+		l(200, 195,
+			c(50),
+			fi(0.8,
+				s(c(70), ft(0.2, c(90))),  // hash hit, maybe collision chain
+				s(c(100), l(3, 2, c(30))), // miss: insert + probe loop
+			),
+			ft(0.2, c(110)), // emit block
+			c(30),
+		),
+		c(60),
+	)
+}
+
+func cover() *isa.Program {
+	bigSwitch := func(cases, size int) isa.Node {
+		w := make([]float64, cases)
+		cs := make([][]isa.Node, cases)
+		for i := range cs {
+			w[i] = 1
+			cs[i] = s(c(size))
+		}
+		return isa.Switch(w, cs...)
+	}
+	return isa.Build("cover",
+		c(10),
+		l(60, 58, bigSwitch(24, 6), c(3)),
+		l(60, 58, bigSwitch(16, 8), c(3)),
+		l(60, 58, bigSwitch(10, 11), c(3)),
+		c(8),
+	)
+}
+
+func crc() *isa.Program {
+	return isa.Build("crc",
+		c(40),
+		l(256, 256,
+			c(20),
+			l(8, 8,
+				c(12),
+				fi(0.5, s(c(14)), s(c(6))), // xor with polynomial or shift
+			),
+		),
+		c(24),
+	)
+}
+
+func duff() *isa.Program {
+	return isa.Build("duff",
+		c(16),
+		isa.Switch([]float64{1, 1, 1, 1}, s(c(52)), s(c(40)), s(c(28)), s(c(16))), // unrolled entry
+		l(40, 38, c(68)), // 8-fold unrolled copy body
+		c(10),
+	)
+}
+
+func edn() *isa.Program {
+	return isa.Build("edn",
+		c(40),
+		l(100, 100, c(20), l(8, 8, c(26))), // vec_mpy / mac
+		l(50, 50, c(24), ft(0.9, c(22))),   // fir with saturation branch
+		l(20, 20, c(16), l(10, 10, c(32))), // latsynth
+		l(16, 16, c(44)),                   // iir
+		c(30),
+	)
+}
+
+func expint() *isa.Program {
+	return isa.Build("expint",
+		c(24),
+		fi(0.5,
+			s(l(30, 22, c(22), ft(0.3, c(16)))),
+			s(l(20, 14, c(16), l(5, 5, c(12)))),
+		),
+		c(14),
+	)
+}
+
+func fac() *isa.Program {
+	return isa.Build("fac",
+		c(8),
+		l(6, 6, c(5), l(5, 5, c(6))),
+		c(6),
+	)
+}
+
+func fdct() *isa.Program {
+	return isa.Build("fdct",
+		c(16),
+		l(8, 8, c(280)), // row pass, unrolled butterfly
+		l(8, 8, c(300)), // column pass
+		c(12),
+	)
+}
+
+func fft1() *isa.Program {
+	return isa.Build("fft1",
+		c(50),
+		l(10, 10, // log2(1024) stages
+			c(24),
+			l(64, 64,
+				c(30),
+				fi(0.5, s(c(36)), s(c(28))), // twiddle selection
+				l(4, 3, c(20)),              // butterfly core
+			),
+		),
+		l(16, 16, ft(0.5, c(24)), c(12)), // bit-reversal pass
+		c(30),
+	)
+}
+
+func fibcall() *isa.Program {
+	return isa.Build("fibcall",
+		c(6),
+		l(30, 30, c(6)),
+		c(4),
+	)
+}
+
+func fir() *isa.Program {
+	return isa.Build("fir",
+		c(20),
+		l(256, 256,
+			c(12),
+			l(32, 32, c(9)), // MAC taps
+			ft(0.1, c(10)),  // saturation
+		),
+		c(12),
+	)
+}
+
+func insertsort() *isa.Program {
+	return isa.Build("insertsort",
+		c(12),
+		l(10, 9,
+			c(8),
+			l(9, 4,
+				c(10),
+				fi(0.5, s(c(10)), s(c(4))), // shift or stop
+			),
+		),
+		c(6),
+	)
+}
+
+func janneComplex() *isa.Program {
+	return isa.Build("janne_complex",
+		c(8),
+		l(30, 16,
+			c(7),
+			fi(0.4, s(c(10)), s(c(6))),
+			l(11, 6,
+				c(9),
+				fi(0.5, s(c(8), ft(0.5, c(6))), s(c(4))),
+			),
+		),
+		c(6),
+	)
+}
+
+func jfdctint() *isa.Program {
+	return isa.Build("jfdctint",
+		c(20),
+		l(8, 8, c(330)),
+		l(8, 8, c(350)),
+		c(16),
+	)
+}
+
+func lcdnum() *isa.Program {
+	w := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	cs := make([][]isa.Node, 10)
+	for i := range cs {
+		cs[i] = s(c(8))
+	}
+	return isa.Build("lcdnum",
+		c(8),
+		l(10, 10, c(5), isa.Switch(w, cs...), c(4)),
+		c(5),
+	)
+}
+
+func lms() *isa.Program {
+	return isa.Build("lms",
+		c(50),
+		l(201, 198,
+			c(36),
+			l(32, 32, c(14)), // filter
+			c(26),
+			l(32, 32, c(18)), // coefficient update
+			ft(0.3, c(36)),   // normalization
+		),
+		c(30),
+	)
+}
+
+func ludcmp() *isa.Program {
+	return isa.Build("ludcmp",
+		c(44),
+		l(6, 6,
+			c(26),
+			l(6, 4, c(20), l(6, 3, c(24))),
+			ft(0.2, c(40)), // pivot fix-up
+			l(6, 4, c(28)),
+		),
+		l(6, 6, c(20), l(6, 3, c(26))), // forward substitution
+		l(6, 6, c(20), l(6, 3, c(26))), // backward substitution
+		c(30),
+	)
+}
+
+func matmult() *isa.Program {
+	return isa.Build("matmult",
+		c(24),
+		l(20, 20,
+			c(8),
+			l(20, 20,
+				c(10),
+				l(20, 20, c(14)),
+				c(8),
+			),
+		),
+		c(12),
+	)
+}
+
+func minver() *isa.Program {
+	return isa.Build("minver",
+		c(40),
+		l(3, 3, c(20), l(3, 3, c(26))),
+		ft(0.1, c(30)), // singular matrix bail-out
+		l(3, 3,
+			c(26),
+			l(3, 2, c(30), ft(0.5, c(22))),
+			l(3, 3, c(26)),
+		),
+		l(3, 3, c(18), l(3, 3, c(22))),
+		c(30),
+	)
+}
+
+func ndes() *isa.Program {
+	return isa.Build("ndes",
+		c(80),
+		l(8, 8, c(22), l(8, 8, c(18))), // key schedule
+		l(16, 16, // rounds
+			c(40),
+			l(8, 8, c(26)),                 // expansion
+			l(8, 8, c(24), ft(0.9, c(12))), // s-boxes
+			l(4, 4, c(32)),                 // permutation
+			c(34),
+		),
+		l(8, 8, c(20)), // final permutation
+		c(40),
+	)
+}
+
+func ns() *isa.Program {
+	return isa.Build("ns",
+		c(16),
+		l(5, 5,
+			c(8),
+			l(5, 5,
+				c(8),
+				l(5, 5,
+					c(8),
+					l(5, 4,
+						c(12),
+						fi(0.1, s(c(14)), s(c(6))), // match found
+					),
+				),
+			),
+		),
+		c(10),
+	)
+}
+
+func nsichneu() *isa.Program {
+	// Hundreds of guarded Petri-net transitions, each "if (enabled) fire".
+	guards := make([]isa.Node, 0, 320)
+	for i := 0; i < 160; i++ {
+		size := 14 + (i*7)%11
+		guards = append(guards, ft(0.8, c(size)))
+		guards = append(guards, c(5))
+	}
+	return isa.Build("nsichneu",
+		c(20),
+		l(2, 2, guards...),
+		c(10),
+	)
+}
+
+func prime() *isa.Program {
+	return isa.Build("prime",
+		c(14),
+		ft(0.5, c(8)),
+		l(45, 42,
+			c(12),
+			fi(0.3, s(c(8)), s(c(4))), // divisible?
+		),
+		c(8),
+	)
+}
+
+func qsortExam() *isa.Program {
+	return isa.Build("qsort-exam",
+		c(30),
+		l(10, 7, // stack depth loop (recursion flattened)
+			c(30),
+			l(20, 12, c(18), ft(0.5, c(14))), // partition left scan
+			l(20, 12, c(18), ft(0.5, c(14))), // partition right scan
+			fi(0.5, s(c(26)), s(c(16))),      // push/pop
+		),
+		c(16),
+	)
+}
+
+func qurt() *isa.Program {
+	return isa.Build("qurt",
+		c(44),
+		fi(0.3,
+			s(c(40)), // complex roots path
+			s(l(20, 12, c(32), ft(0.4, c(18)))),
+		),
+		c(26),
+	)
+}
+
+func recursion() *isa.Program {
+	return isa.Build("recursion",
+		c(8),
+		l(25, 20,
+			c(7),
+			fi(0.5, s(c(8), ft(0.5, c(6))), s(c(4))),
+		),
+		c(6),
+	)
+}
+
+func selectKth() *isa.Program {
+	return isa.Build("select",
+		c(24),
+		l(8, 5,
+			c(22),
+			l(20, 10, c(14), ft(0.5, c(12))),
+			l(20, 10, c(14), ft(0.5, c(12))),
+			fi(0.5, s(c(18)), s(c(10))),
+		),
+		c(14),
+	)
+}
+
+func sqrtProg() *isa.Program {
+	return isa.Build("sqrt",
+		c(14),
+		l(19, 19, c(16), ft(0.2, c(8))),
+		c(8),
+	)
+}
+
+func st() *isa.Program {
+	return isa.Build("st",
+		c(30),
+		l(1000, 1000, c(16)),                 // sum
+		l(1000, 1000, c(20)),                 // mean/dev
+		l(1000, 1000, c(24), ft(0.9, c(10))), // variance
+		l(1000, 1000, c(30)),                 // correlation
+		c(26),
+	)
+}
+
+func statemate() *isa.Program {
+	// Generated statechart code: a step loop over long predicate cascades.
+	var cascades []isa.Node
+	for i := 0; i < 76; i++ {
+		size := 22 + (i*5)%15
+		cascades = append(cascades, fi(0.85, s(c(size)), s(c(8))))
+	}
+	return isa.Build("statemate",
+		c(30),
+		l(40, 36, cascades...),
+		c(16),
+	)
+}
+
+func ud() *isa.Program {
+	return isa.Build("ud",
+		c(30),
+		l(5, 5, c(16), l(5, 3, c(20), l(5, 3, c(16)))),
+		l(5, 5, c(16), l(5, 3, c(18))),
+		l(5, 5, c(14), l(5, 3, c(16))),
+		c(16),
+	)
+}
+
+func whet() *isa.Program {
+	return isa.Build("whet",
+		c(24),
+		l(50, 50, c(110)),                 // module 1: floating arithmetic
+		l(40, 40, c(90), ft(0.95, c(24))), // module 2
+		l(30, 30, c(120)),                 // module 3: trig block
+		l(40, 40, c(76)),                  // module 4
+		c(20),
+	)
+}
+
+func minmax() *isa.Program {
+	return isa.Build("minmax",
+		c(8),
+		fi(0.5, s(c(6), ft(0.5, c(5))), s(c(7))),
+		fi(0.5, s(c(6)), s(c(5), ft(0.5, c(4)))),
+		c(6),
+	)
+}

@@ -1,0 +1,402 @@
+// Package sim is the trace-driven simulator standing in for the
+// instruction-set simulator (GEM5) of the paper's setup (Supplement S.4):
+// it executes a program under a seeded average-case driver — loop trip
+// counts drawn around their annotated means, branches by their annotated
+// probabilities — through a concrete cache with a non-blocking prefetch
+// port, and accounts every event the energy model needs.
+//
+// The simulator measures the *memory contribution* to the execution time,
+// exactly the quantity the paper evaluates: every instruction costs its
+// fetch time (hit time, or the miss penalty, or a stall on an in-flight
+// fill); software prefetches overlap with execution.
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"ucp/internal/cache"
+	"ucp/internal/energy"
+	"ucp/internal/hwpref"
+	"ucp/internal/isa"
+	"ucp/internal/wcet"
+)
+
+// Options configures a simulation.
+type Options struct {
+	// Par are the memory timings (hit, miss penalty, prefetch latency).
+	Par wcet.Params
+	// Seed drives the average-case branch/loop behavior; run r uses
+	// Seed+r.
+	Seed int64
+	// Runs is the number of independent cold-start executions to average
+	// over (default 1).
+	Runs int
+	// HW optionally attaches a hardware prefetcher baseline.
+	HW hwpref.Prefetcher
+	// MaxOutstanding bounds the fill queue (default 4); further prefetch
+	// requests are dropped, as a real prefetch buffer would.
+	MaxOutstanding int
+	// Locked, when non-nil, switches the cache to statically locked
+	// operation: accesses to locked blocks always hit, every other access
+	// goes to memory without allocating (the cache-locking baseline of
+	// Section 2.2).
+	Locked map[uint64]bool
+}
+
+// Stats aggregates the events of all runs.
+type Stats struct {
+	Runs    int
+	Cycles  int64 // memory cycles over all runs
+	Fetches int64 // instructions executed (including prefetches)
+	Hits    int64
+	Misses  int64 // demand fetches that paid the full miss penalty
+	Stalls  int64 // demand fetches that waited on an in-flight fill
+	// StallCycles is the total time spent waiting on in-flight fills.
+	StallCycles int64
+
+	PrefetchExecuted  int64 // software prefetch instructions fetched
+	PrefetchIssued    int64 // fills enqueued by software prefetches
+	PrefetchRedundant int64 // software prefetches whose block was resident
+	HWIssued          int64 // fills enqueued by the hardware prefetcher
+	HWDropped         int64 // hardware requests dropped on a full queue
+
+	DRAMReads  int64 // level-two block transfers
+	CacheFills int64 // blocks written into the cache
+}
+
+// ACETCycles is the average memory time of one run.
+func (s Stats) ACETCycles() float64 { return float64(s.Cycles) / float64(s.Runs) }
+
+// MissRate is misses per demand fetch.
+func (s Stats) MissRate() float64 {
+	demand := s.Fetches
+	if demand == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(demand)
+}
+
+// FetchesPerRun is the average dynamic instruction count.
+func (s Stats) FetchesPerRun() float64 { return float64(s.Fetches) / float64(s.Runs) }
+
+// Account converts the statistics into the energy model's activity vector
+// (per-run averages scaled back to totals is unnecessary: energy of one run
+// is Account()/Runs-proportional, and all figures use ratios).
+func (s Stats) Account() energy.Account {
+	return energy.Account{
+		CacheReads: s.Fetches,
+		CacheFills: s.CacheFills,
+		DRAMReads:  s.DRAMReads,
+		Cycles:     s.Cycles,
+	}
+}
+
+type fill struct {
+	block uint64
+	ready int64
+}
+
+type machine struct {
+	p     *isa.Program
+	lay   *isa.Layout
+	cfg   cache.Config
+	o     Options
+	st    *cache.State
+	rng   *rand.Rand
+	t     int64
+	fills []fill
+	// firstUse tracks the tagged-prefetch bit: blocks not yet demand-read
+	// since arriving.
+	firstUse map[uint64]bool
+	stats    *Stats
+}
+
+// Run simulates the program and returns the aggregated statistics.
+func Run(p *isa.Program, cfg cache.Config, o Options) Stats {
+	if o.Runs <= 0 {
+		o.Runs = 1
+	}
+	if o.MaxOutstanding <= 0 {
+		o.MaxOutstanding = 4
+	}
+	if err := o.Par.Valid(); err != nil {
+		panic(err)
+	}
+	stats := Stats{Runs: o.Runs}
+	lay := isa.NewLayout(p)
+	for r := 0; r < o.Runs; r++ {
+		m := &machine{
+			p:        p,
+			lay:      lay,
+			cfg:      cfg,
+			o:        o,
+			st:       cache.NewState(cfg),
+			rng:      rand.New(rand.NewSource(o.Seed + int64(r))),
+			firstUse: map[uint64]bool{},
+			stats:    &stats,
+		}
+		if o.HW != nil {
+			o.HW.Reset()
+		}
+		m.run()
+	}
+	return stats
+}
+
+func (m *machine) run() {
+	loopIters := map[int]int{}
+	cur := m.p.Entry
+	prev := -1
+	guard := 0
+	for {
+		guard++
+		if guard > 2_000_000 {
+			panic("sim: execution did not terminate (loop annotations inconsistent?)")
+		}
+		b := m.p.Blocks[cur]
+		li := m.p.LoopOf(cur)
+		isHead := li >= 0 && m.p.Loops[li].Head == cur
+		if isHead && m.freshEntry(li, prev) {
+			loopIters[li] = m.drawIters(li)
+		}
+		m.execBlock(b, loopIters)
+		if len(b.Succs) == 0 {
+			m.stats.Cycles += m.t
+			return
+		}
+		prev = cur
+		switch {
+		case isHead:
+			if loopIters[li] > 0 {
+				loopIters[li]--
+				cur = b.Succs[0]
+			} else {
+				cur = b.Succs[1]
+			}
+		case b.Terminator().Kind == isa.KindBranch:
+			if m.rng.Float64() < b.TakenProb {
+				cur = b.Succs[0]
+			} else {
+				cur = b.Succs[1]
+			}
+		default:
+			cur = b.Succs[0]
+		}
+	}
+}
+
+func (m *machine) freshEntry(li, prev int) bool {
+	if prev < 0 {
+		return true
+	}
+	for _, member := range m.p.Loops[li].Blocks {
+		if member == prev {
+			return false
+		}
+	}
+	return true
+}
+
+// drawIters samples the trip count of one loop entry: normally distributed
+// around the annotated mean, clamped to [0, bound]. A mean equal to the
+// bound makes the loop deterministic (counted loops like matrix kernels).
+func (m *machine) drawIters(li int) int {
+	l := m.p.Loops[li]
+	if l.AvgIters >= float64(l.Bound) {
+		return l.Bound
+	}
+	spread := math.Max(1, l.AvgIters*0.2)
+	v := int(math.Round(m.rng.NormFloat64()*spread + l.AvgIters))
+	if v < 0 {
+		v = 0
+	}
+	if v > l.Bound {
+		v = l.Bound
+	}
+	return v
+}
+
+// execBlock fetches every instruction of the block, handling prefetch
+// issues and hardware prefetch triggers.
+func (m *machine) execBlock(b *isa.Block, loopIters map[int]int) {
+	for i, in := range b.Instrs {
+		ref := isa.InstrRef{Block: b.ID, Index: i}
+		pc := m.lay.Addr(ref)
+		blk := pc / uint64(m.cfg.BlockBytes)
+		hit := m.fetch(blk)
+
+		m.stats.Fetches++
+		if in.Kind == isa.KindPrefetch {
+			m.stats.PrefetchExecuted++
+			m.issueSoftware(m.lay.MemBlock(in.Target, m.cfg.BlockBytes))
+		}
+		if m.o.HW != nil {
+			m.triggerHW(b, i, pc, blk, hit, loopIters)
+		}
+	}
+}
+
+// fetch performs one demand access at the current time and advances the
+// clock.
+func (m *machine) fetch(blk uint64) bool {
+	m.applyFills()
+	if m.o.Locked != nil {
+		// Statically locked cache: no state changes ever.
+		if m.o.Locked[blk] {
+			m.stats.Hits++
+			m.t += m.o.Par.HitCycles
+			return true
+		}
+		m.stats.Misses++
+		m.stats.DRAMReads++
+		m.t += m.o.Par.MissCycles()
+		return false
+	}
+	if m.st.Contains(blk) {
+		m.st.Access(blk)
+		if m.firstUse[blk] {
+			delete(m.firstUse, blk)
+		}
+		m.stats.Hits++
+		m.t += m.o.Par.HitCycles
+		return true
+	}
+	// In-flight fill?
+	for _, f := range m.fills {
+		if f.block != blk {
+			continue
+		}
+		// Stall until the fill lands, then hit.
+		if f.ready > m.t {
+			m.stats.StallCycles += f.ready - m.t
+			m.t = f.ready
+		}
+		m.stats.Stalls++
+		m.applyFills()
+		if !m.st.Contains(blk) {
+			// The fill landed and was immediately evicted by another fill
+			// applied in the same instant; treat as a miss refill.
+			m.st.Access(blk)
+			m.stats.CacheFills++
+		} else {
+			m.st.Access(blk)
+		}
+		m.stats.Hits++
+		m.t += m.o.Par.HitCycles
+		return true
+	}
+	// Full miss.
+	m.st.Access(blk)
+	m.firstUse[blk] = true
+	m.stats.Misses++
+	m.stats.DRAMReads++
+	m.stats.CacheFills++
+	m.t += m.o.Par.MissCycles()
+	return false
+}
+
+// issueSoftware enqueues a software prefetch fill.
+func (m *machine) issueSoftware(blk uint64) {
+	if m.o.Locked != nil {
+		return // locked cache cannot be refilled
+	}
+	if m.st.Contains(blk) || m.pending(blk) {
+		m.stats.PrefetchRedundant++
+		return
+	}
+	if len(m.fills) >= m.o.MaxOutstanding {
+		// A software prefetch waits for a queue slot rather than being
+		// dropped; the earliest fill bounds the wait.
+		earliest := m.fills[0].ready
+		for _, f := range m.fills {
+			if f.ready < earliest {
+				earliest = f.ready
+			}
+		}
+		if earliest > m.t {
+			m.stats.StallCycles += earliest - m.t
+			m.t = earliest
+		}
+		m.applyFills()
+	}
+	m.fills = append(m.fills, fill{block: blk, ready: m.t + m.o.Par.Lambda})
+	m.stats.PrefetchIssued++
+	m.stats.DRAMReads++
+}
+
+// issueHW enqueues a hardware prefetch fill, dropping on a full queue.
+func (m *machine) issueHW(blk uint64) {
+	if m.st.Contains(blk) || m.pending(blk) {
+		return
+	}
+	if len(m.fills) >= m.o.MaxOutstanding {
+		m.stats.HWDropped++
+		return
+	}
+	m.fills = append(m.fills, fill{block: blk, ready: m.t + m.o.Par.Lambda})
+	m.stats.HWIssued++
+	m.stats.DRAMReads++
+}
+
+func (m *machine) pending(blk uint64) bool {
+	for _, f := range m.fills {
+		if f.block == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// applyFills retires every fill whose latency has elapsed.
+func (m *machine) applyFills() {
+	if len(m.fills) == 0 {
+		return
+	}
+	rest := m.fills[:0]
+	for _, f := range m.fills {
+		if f.ready <= m.t {
+			m.st.Insert(f.block)
+			m.firstUse[f.block] = true
+			m.stats.CacheFills++
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	m.fills = rest
+}
+
+// triggerHW builds the prefetcher event for the fetch just performed and
+// enqueues whatever the mechanism requests.
+func (m *machine) triggerHW(b *isa.Block, i int, pc, blk uint64, hit bool, loopIters map[int]int) {
+	in := b.Instrs[i]
+	ev := hwpref.Event{
+		PC:       pc,
+		Block:    blk,
+		Hit:      hit,
+		FirstUse: m.firstUse[blk],
+		IsBranch: in.Kind == isa.KindBranch,
+	}
+	if ev.IsBranch && len(b.Succs) == 2 {
+		ev.TakenPC = m.lay.Addr(isa.InstrRef{Block: b.Succs[0], Index: 0})
+		ev.FallPC = m.lay.Addr(isa.InstrRef{Block: b.Succs[1], Index: 0})
+		// Resolve the branch the same way run() will: peek the driver
+		// state without consuming randomness (approximation: predict the
+		// likelier arm; the RPT learns from it).
+		li := m.p.LoopOf(b.ID)
+		if li >= 0 && m.p.Loops[li].Head == b.ID {
+			if loopIters[li] > 0 {
+				ev.NextPC = ev.TakenPC
+			} else {
+				ev.NextPC = ev.FallPC
+			}
+		} else if b.TakenProb >= 0.5 {
+			ev.NextPC = ev.TakenPC
+		} else {
+			ev.NextPC = ev.FallPC
+		}
+	}
+	for _, pb := range m.o.HW.OnAccess(ev, m.cfg.BlockBytes) {
+		m.issueHW(pb)
+	}
+}

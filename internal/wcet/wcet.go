@@ -1,0 +1,167 @@
+// Package wcet orchestrates the classical cache-aware WCET analysis the
+// paper builds on: VIVU expansion, must/may abstract interpretation, and the
+// determination of the WCET scenario (Section 3.3). Besides the IPET/ILP
+// reference path (internal/ipet), it implements a fast structural solver
+// for the reducible graphs our builder produces; the two are cross-checked
+// in tests.
+package wcet
+
+import (
+	"fmt"
+
+	"ucp/internal/absint"
+	"ucp/internal/cache"
+	"ucp/internal/isa"
+	"ucp/internal/vivu"
+)
+
+// Params are the timing parameters of the memory system, in cycles.
+type Params struct {
+	// HitCycles is the time of an instruction fetch that hits in cache.
+	HitCycles int64
+	// MissPenalty is the additional time of a fetch that misses (the
+	// level-two access).
+	MissPenalty int64
+	// Lambda is the prefetch latency Λ (Definition 4): the time between a
+	// prefetch issuing and the block being resident.
+	Lambda int64
+}
+
+// Valid reports whether the parameters are usable.
+func (p Params) Valid() error {
+	if p.HitCycles < 1 || p.MissPenalty < 1 || p.Lambda < 1 {
+		return fmt.Errorf("wcet: non-positive timing parameters %+v", p)
+	}
+	return nil
+}
+
+// MissCycles is the total fetch time on a miss.
+func (p Params) MissCycles() int64 { return p.HitCycles + p.MissPenalty }
+
+// Result is the outcome of a full WCET analysis of one program on one cache
+// configuration.
+type Result struct {
+	Prog *isa.Program
+	X    *vivu.Prog
+	Lay  *isa.Layout
+	AI   *absint.Result
+	Cfg  cache.Config
+	Par  Params
+
+	// Tw[xb][i] is t_w of the i-th reference of expanded block xb: its
+	// fetch time in the WCET scenario (Section 3.3).
+	Tw [][]int64
+	// Cost[xb] = Σ_i Tw[xb][i], the per-block memory time t_w(bb).
+	Cost []int64
+	// Extra[xb] is the one-time cost charged once per entry of the
+	// residual loop region containing xb (the first-miss charges of
+	// persistence-classified references).
+	Extra []int64
+	// Nw[xb] is the execution count of expanded block xb in the WCET
+	// scenario (n^w_bb); zero off the WCET path.
+	Nw []int64
+	// TauW is the memory contribution to the WCET, Σ Cost·Nw (Equation 3).
+	TauW int64
+	// Misses is the number of cache misses in the WCET scenario (references
+	// not classified always-hit, weighted by Nw).
+	Misses int64
+	// Fetches is the number of instruction fetches in the WCET scenario.
+	Fetches int64
+}
+
+// Analyze expands p and analyzes it on cfg with parameters par.
+func Analyze(p *isa.Program, cfg cache.Config, par Params) (*Result, error) {
+	x, err := vivu.Expand(p)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeX(x, cfg, par)
+}
+
+// AnalyzeX analyzes a pre-expanded program. The expansion depends only on
+// the control-flow structure, not on the instruction sequences, so the
+// optimizer reuses one expansion across its insertion iterations.
+func AnalyzeX(x *vivu.Prog, cfg cache.Config, par Params) (*Result, error) {
+	if err := par.Valid(); err != nil {
+		return nil, err
+	}
+	lay := isa.NewLayout(x.Prog)
+	ai := absint.Analyze(x, lay, cfg, int(par.Lambda))
+
+	res := &Result{
+		Prog: x.Prog, X: x, Lay: lay, AI: ai, Cfg: cfg, Par: par,
+		Tw:   make([][]int64, len(x.Blocks)),
+		Cost: make([]int64, len(x.Blocks)),
+	}
+	// extra[xb] carries the one-time first-miss charges of the block's
+	// persistence-classified references: each pays one miss penalty per
+	// entry of its loop region, not per execution.
+	extra := make([]int64, len(x.Blocks))
+	for _, xb := range x.Blocks {
+		instrs := x.Prog.Blocks[xb.Orig].Instrs
+		row := make([]int64, len(instrs))
+		total := int64(0)
+		for i := range instrs {
+			t := par.MissCycles()
+			switch ai.Class[xb.ID][i] {
+			case absint.AlwaysHit:
+				t = par.HitCycles
+			case absint.FirstMiss:
+				t = par.HitCycles
+				extra[xb.ID] += par.MissPenalty
+			}
+			row[i] = t
+			total += t
+		}
+		res.Tw[xb.ID] = row
+		res.Cost[xb.ID] = total
+	}
+
+	res.Extra = extra
+	nw, tau, err := solveStructuralExtra(x, res.Cost, extra)
+	if err != nil {
+		return nil, err
+	}
+	res.Nw = nw
+	res.TauW = tau
+	for _, xb := range x.Blocks {
+		n := nw[xb.ID]
+		if n == 0 {
+			continue
+		}
+		res.Fetches += n * int64(len(x.Prog.Blocks[xb.Orig].Instrs))
+		for i := range x.Prog.Blocks[xb.Orig].Instrs {
+			switch ai.Class[xb.ID][i] {
+			case absint.AlwaysHit:
+			case absint.FirstMiss:
+				res.Misses++ // at most one miss regardless of n_w
+			default:
+				res.Misses += n
+			}
+		}
+	}
+	return res, nil
+}
+
+// SolveCounts runs the structural WCET-scenario solver for externally
+// supplied per-block costs, returning the counts n_w and the optimum τ_w.
+// The locking baseline uses it with its own fixed hit/miss cost vector.
+func SolveCounts(x *vivu.Prog, cost []int64) (nw []int64, tau int64, err error) {
+	return solveStructural(x, cost)
+}
+
+// OnWCETPath reports whether expanded block xb executes in the WCET
+// scenario.
+func (r *Result) OnWCETPath(xb int) bool { return r.Nw[xb] > 0 }
+
+// RefTime returns t_w of a reference (the fetch time of one access in the
+// WCET scenario).
+func (r *Result) RefTime(ref vivu.Ref) int64 { return r.Tw[ref.XB][ref.Index] }
+
+// RefCount returns n_w of the expanded block containing the reference.
+func (r *Result) RefCount(ref vivu.Ref) int64 { return r.Nw[ref.XB] }
+
+// Contribution returns τ_w(r) = t_w(r)·n_w(B(r)) (Equation 2).
+func (r *Result) Contribution(ref vivu.Ref) int64 {
+	return r.RefTime(ref) * r.RefCount(ref)
+}
