@@ -31,6 +31,7 @@ func main() {
 		techs    = flag.String("techs", "all", "comma-separated technology subset")
 		runs     = flag.Int("runs", 3, "average-case executions per measurement")
 		budget   = flag.Int("budget", 0, "optimizer validation budget per cell (0 = default)")
+		workers  = flag.Int("workers", 0, "cells analyzed concurrently (0 = GOMAXPROCS, 1 = serial)")
 		progress = flag.Bool("progress", false, "print one line per completed cell to stderr")
 		out      = flag.String("out", "", "also write the report to this file")
 		csvOut   = flag.String("csv", "", "write the raw per-use-case measurements to this CSV file")
@@ -40,9 +41,9 @@ func main() {
 	if *table != 0 {
 		switch *table {
 		case 1:
-			experiment.Table1(os.Stdout)
+			exitOn(experiment.Table1(os.Stdout))
 		case 2:
-			experiment.Table2(os.Stdout)
+			exitOn(experiment.Table2(os.Stdout))
 		default:
 			fmt.Fprintln(os.Stderr, "unknown table; want 1 or 2")
 			os.Exit(2)
@@ -67,6 +68,7 @@ func main() {
 		Techs:            tns,
 		Runs:             *runs,
 		ValidationBudget: *budget,
+		Workers:          *workers,
 	}
 	if *progress {
 		opts.Progress = os.Stderr
@@ -93,30 +95,30 @@ func main() {
 
 	fmt.Fprintf(w, "ucp-bench: %d use cases in %v\n\n", len(suite.Cells), time.Since(start).Round(time.Second))
 	if *all {
-		suite.Headline(w)
+		exitOn(suite.Headline(w))
 		fmt.Fprintln(w)
-		suite.Figure3(w)
+		exitOn(suite.Figure3(w))
 		fmt.Fprintln(w)
-		suite.Figure4(w)
+		exitOn(suite.Figure4(w))
 		fmt.Fprintln(w)
-		suite.Figure5(w)
+		exitOn(suite.Figure5(w))
 		fmt.Fprintln(w)
-		suite.Figure7(w)
+		exitOn(suite.Figure7(w))
 		fmt.Fprintln(w)
-		suite.Figure8(w)
+		exitOn(suite.Figure8(w))
 		return
 	}
 	switch *figure {
 	case 3:
-		suite.Figure3(w)
+		exitOn(suite.Figure3(w))
 	case 4:
-		suite.Figure4(w)
+		exitOn(suite.Figure4(w))
 	case 5:
-		suite.Figure5(w)
+		exitOn(suite.Figure5(w))
 	case 7:
-		suite.Figure7(w)
+		exitOn(suite.Figure7(w))
 	case 8:
-		suite.Figure8(w)
+		exitOn(suite.Figure8(w))
 	default:
 		fmt.Fprintln(os.Stderr, "unknown figure; want 3, 4, 5, 7 or 8")
 		os.Exit(2)

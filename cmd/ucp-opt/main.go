@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"os"
 
-	"ucp/internal/cache"
 	"ucp/internal/cliutil"
 	"ucp/internal/core"
 	"ucp/internal/energy"
@@ -34,18 +33,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	ci, err := cliutil.Config(*config)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	tn, err := cliutil.Tech(*tech)
+	_, cfg, tn, err := cliutil.ConfigTech(*config, *tech)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	cfg := cache.Table2()[ci]
 	mdl := energy.NewModel(cfg, tn)
 	opt, rep, err := core.Optimize(prog, cfg, core.Options{Par: mdl.WCETParams(), ValidationBudget: *budget})
 	if err != nil {

@@ -1,0 +1,86 @@
+// Command ucp-serve runs the analysis-as-a-service HTTP server: the full
+// unlocked-cache-prefetching pipeline behind a JSON API with a
+// content-addressed result cache, a bounded worker pool, and Prometheus
+// metrics. See internal/service for the endpoint list.
+//
+// Usage:
+//
+//	ucp-serve -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/analyze \
+//	     -d '{"program":"crc","config":"k14","tech":"45nm"}'
+//
+// The server drains gracefully on SIGINT/SIGTERM: listeners close, in
+// -flight requests finish (up to -drain), and running sweep jobs are
+// cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ucp/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent analysis cells (0 = GOMAXPROCS)")
+		entries = flag.Int("cache-entries", 512, "result-cache bound (entries)")
+		maxBody = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+		timeout = flag.Duration("job-timeout", 15*time.Minute, "per-sweep-job deadline")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		CacheEntries: *entries,
+		MaxBodyBytes: *maxBody,
+		JobTimeout:   *timeout,
+		Logger:       logger,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("ucp-serve listening", "addr", *addr, "workers", *workers)
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (e.g. port in use).
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", "drain", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Error("shutdown", "err", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("serve", "err", err)
+	}
+	// Cancel running sweep jobs and wait for their goroutines.
+	svc.Close()
+	logger.Info("bye")
+}

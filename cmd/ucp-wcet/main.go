@@ -14,7 +14,6 @@ import (
 	"os"
 
 	"ucp/internal/absint"
-	"ucp/internal/cache"
 	"ucp/internal/cliutil"
 	"ucp/internal/energy"
 	"ucp/internal/ipet"
@@ -36,18 +35,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	ci, err := cliutil.Config(*config)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	tn, err := cliutil.Tech(*tech)
+	_, cfg, tn, err := cliutil.ConfigTech(*config, *tech)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	cfg := cache.Table2()[ci]
 	mdl := energy.NewModel(cfg, tn)
 	res, err := wcet.Analyze(b.Prog, cfg, mdl.WCETParams())
 	if err != nil {

@@ -36,6 +36,21 @@ func Tech(s string) (energy.Tech, error) {
 	return 0, fmt.Errorf("unknown technology %q (want 45nm or 32nm)", s)
 }
 
+// ConfigTech resolves the (configuration label, technology name) pair the
+// single-shot CLI tools all take, returning the Table 2 index, the
+// concrete configuration, and the technology node.
+func ConfigTech(config, tech string) (int, cache.Config, energy.Tech, error) {
+	ci, err := Config(config)
+	if err != nil {
+		return 0, cache.Config{}, 0, err
+	}
+	tn, err := Tech(tech)
+	if err != nil {
+		return 0, cache.Config{}, 0, err
+	}
+	return ci, cache.Table2()[ci], tn, nil
+}
+
 // Benchmark resolves a benchmark by name.
 func Benchmark(name string) (malardalen.Benchmark, error) {
 	b, ok := malardalen.ByName(name)

@@ -6,11 +6,34 @@ import (
 	"io"
 )
 
+// errWriter latches the first error of the underlying writer so the
+// fmt.Fprintf-heavy renderers in figures.go can report I/O failures
+// (a full disk, a closed pipe) instead of silently dropping them. After
+// the first failure every Write is a cheap no-op returning that error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}
+
 // WriteCSV emits the raw per-use-case measurements, one row per cell, for
 // external plotting or statistics. Every figure of the paper can be
-// recomputed from these columns.
+// recomputed from these columns. The first writer error aborts the
+// rendering and is returned (csv.Writer buffers, so it would otherwise
+// surface only at Flush).
 func (s *Suite) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
+	ew := &errWriter{w: w}
+	cw := csv.NewWriter(ew)
 	header := []string{
 		"program", "config", "assoc", "block_bytes", "capacity_bytes", "tech",
 		"inserted", "cond3_reverted",
@@ -49,6 +72,11 @@ func (s *Suite) WriteCSV(w io.Writer) error {
 		}
 		if err := cw.Write(row); err != nil {
 			return err
+		}
+		// csv.Writer buffers; bail out as soon as the underlying writer
+		// has failed rather than formatting the remaining cells.
+		if ew.err != nil {
+			return ew.err
 		}
 	}
 	cw.Flush()

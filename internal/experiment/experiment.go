@@ -7,14 +7,17 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"ucp/internal/cache"
 	"ucp/internal/core"
 	"ucp/internal/energy"
 	"ucp/internal/isa"
 	"ucp/internal/malardalen"
+	"ucp/internal/pool"
 	"ucp/internal/sim"
 )
 
@@ -66,7 +69,18 @@ type Options struct {
 	// ValidationBudget caps the optimizer's re-analyses per cell
 	// (0 = optimizer default).
 	ValidationBudget int
-	// Progress, when non-nil, receives one line per completed cell.
+	// Workers is the number of cells analyzed concurrently
+	// (0 = GOMAXPROCS, 1 = serial). Whatever the completion order, the
+	// resulting Suite lists cells in deterministic (program, config,
+	// technology) order, so rendered figures and CSV output are
+	// byte-stable across worker counts.
+	Workers int
+	// SkipReduced skips the half/quarter-capacity re-optimization runs
+	// (Figure 5); the analysis service sets this because its results do
+	// not include the reduced-capacity series.
+	SkipReduced bool
+	// Progress, when non-nil, receives one line per completed cell (in
+	// completion order when Workers > 1).
 	Progress io.Writer
 }
 
@@ -75,11 +89,21 @@ type Suite struct {
 	Cells []Cell
 }
 
-// Run executes the sweep.
+// Run executes the sweep. It is Sweep with a background context.
 func Run(o Options) (*Suite, error) {
-	if o.Runs <= 0 {
-		o.Runs = 3
-	}
+	return Sweep(context.Background(), o)
+}
+
+// unit is one (program, configuration, technology) cell of the sweep
+// matrix, in its deterministic output position.
+type unit struct {
+	b    malardalen.Benchmark
+	ci   int
+	tech energy.Tech
+}
+
+// units expands the options into the deterministic cell list.
+func units(o Options) []unit {
 	benches := malardalen.All()
 	if o.Programs != nil {
 		want := map[string]bool{}
@@ -94,10 +118,9 @@ func Run(o Options) (*Suite, error) {
 		}
 		benches = filtered
 	}
-	cfgs := cache.Table2()
 	cfgIdxs := o.Configs
 	if cfgIdxs == nil {
-		for i := range cfgs {
+		for i := range cache.Table2() {
 			cfgIdxs = append(cfgIdxs, i)
 		}
 	}
@@ -105,27 +128,52 @@ func Run(o Options) (*Suite, error) {
 	if techs == nil {
 		techs = energy.Techs()
 	}
-
-	suite := &Suite{}
+	var out []unit
 	for _, b := range benches {
 		for _, ci := range cfgIdxs {
 			for _, tech := range techs {
-				cell, err := RunCell(b, ci, tech, o)
-				if err != nil {
-					return nil, fmt.Errorf("experiment: %s/%s/%v: %w", b.Name, cache.ConfigID(ci), tech, err)
-				}
-				suite.Cells = append(suite.Cells, cell)
-				if o.Progress != nil {
-					fmt.Fprintf(o.Progress, "%-14s %-4s %-4s ins=%-3d τ %.3f  acet %.3f  energy %.3f\n",
-						cell.Program, cell.ConfigID, cell.Tech, cell.Inserted,
-						ratio(float64(cell.TauOpt), float64(cell.TauOrig)),
-						ratio(cell.ACETOpt, cell.ACETOrig),
-						ratio(cell.EnergyOpt, cell.EnergyOrig))
-				}
+				out = append(out, unit{b: b, ci: ci, tech: tech})
 			}
 		}
 	}
-	return suite, nil
+	return out
+}
+
+// Sweep executes the evaluation matrix, analyzing up to Options.Workers
+// cells concurrently through a bounded worker pool. Cancelling ctx stops
+// new cells from starting and returns the context's error; cells already
+// in flight run to completion. The returned Suite lists cells in
+// (program, config, technology) order regardless of completion order.
+func Sweep(ctx context.Context, o Options) (*Suite, error) {
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+	us := units(o)
+	cells := make([]Cell, len(us))
+	var progressMu sync.Mutex
+	p := pool.New(o.Workers)
+	err := p.ForEach(ctx, len(us), func(_ context.Context, i int) error {
+		u := us[i]
+		cell, err := RunCell(u.b, u.ci, u.tech, o)
+		if err != nil {
+			return fmt.Errorf("experiment: %s/%s/%v: %w", u.b.Name, cache.ConfigID(u.ci), u.tech, err)
+		}
+		cells[i] = cell
+		if o.Progress != nil {
+			progressMu.Lock()
+			fmt.Fprintf(o.Progress, "%-14s %-4s %-4s ins=%-3d τ %.3f  acet %.3f  energy %.3f\n",
+				cell.Program, cell.ConfigID, cell.Tech, cell.Inserted,
+				ratio(float64(cell.TauOpt), float64(cell.TauOrig)),
+				ratio(cell.ACETOpt, cell.ACETOrig),
+				ratio(cell.EnergyOpt, cell.EnergyOrig))
+			progressMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{Cells: cells}, nil
 }
 
 func ratio(a, b float64) float64 {
@@ -195,13 +243,15 @@ func RunCell(b malardalen.Benchmark, cfgIdx int, tech energy.Tech, o Options) (C
 	// Figure 5: re-target the optimization at half and quarter capacity and
 	// compare against the original binary on the full-size cache — the
 	// "smaller caches through prefetching" experiment.
-	if tau, acet, e, ok := reducedRun(b, cfg, 2, tech, o); ok {
-		cell.HasHalf = true
-		cell.TauHalf, cell.ACETHalf, cell.EnergyHalf = tau, acet, e
-	}
-	if tau, acet, e, ok := reducedRun(b, cfg, 4, tech, o); ok {
-		cell.HasQuarter = true
-		cell.TauQuarter, cell.ACETQuarter, cell.EnergyQuarter = tau, acet, e
+	if !o.SkipReduced {
+		if tau, acet, e, ok := reducedRun(b, cfg, 2, tech, o); ok {
+			cell.HasHalf = true
+			cell.TauHalf, cell.ACETHalf, cell.EnergyHalf = tau, acet, e
+		}
+		if tau, acet, e, ok := reducedRun(b, cfg, 4, tech, o); ok {
+			cell.HasQuarter = true
+			cell.TauQuarter, cell.ACETQuarter, cell.EnergyQuarter = tau, acet, e
+		}
 	}
 	return cell, nil
 }

@@ -2,6 +2,9 @@ package experiment
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -98,6 +101,111 @@ func TestRunCellReducedCaches(t *testing.T) {
 	}
 	if !cellSmall.HasHalf {
 		t.Error("256B direct-mapped cell should allow a 128B half-size run")
+	}
+}
+
+// TestParallelSweepDeterministic checks the acceptance property of the
+// worker pool: a parallel sweep must produce byte-identical CSV output to
+// the serial run, whatever the completion order.
+func TestParallelSweepDeterministic(t *testing.T) {
+	opts := Options{
+		Programs:         []string{"fibcall", "fac", "bs"},
+		Configs:          []int{0, 13},
+		Techs:            []energy.Tech{energy.Tech45},
+		Runs:             1,
+		ValidationBudget: 20,
+	}
+	serial := opts
+	serial.Workers = 1
+	parallel := opts
+	parallel.Workers = 8
+
+	s1, err := Sweep(context.Background(), serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := Sweep(context.Background(), parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b1, b8 bytes.Buffer
+	if err := s1.WriteCSV(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s8.WriteCSV(&b8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b8.Bytes()) {
+		t.Fatalf("parallel CSV differs from serial:\nserial:\n%s\nparallel:\n%s", b1.String(), b8.String())
+	}
+
+	var f1, f8 bytes.Buffer
+	if err := s1.Headline(&f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s8.Headline(&f8); err != nil {
+		t.Fatal(err)
+	}
+	if f1.String() != f8.String() {
+		t.Fatal("parallel headline differs from serial")
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Sweep(ctx, Options{
+		Programs: []string{"fibcall"},
+		Configs:  []int{0},
+		Techs:    []energy.Tech{energy.Tech45},
+		Runs:     1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// brokenWriter fails after the first n bytes, as a full disk would.
+type brokenWriter struct {
+	n   int
+	err error
+}
+
+func (b *brokenWriter) Write(p []byte) (int, error) {
+	if len(p) <= b.n {
+		b.n -= len(p)
+		return len(p), nil
+	}
+	n := b.n
+	b.n = 0
+	return n, b.err
+}
+
+// TestRenderersPropagateWriterErrors checks that figure, table, and CSV
+// rendering surface I/O failures instead of dropping them.
+func TestRenderersPropagateWriterErrors(t *testing.T) {
+	s := smallSweep(t)
+	sentinel := errors.New("disk full")
+	renderers := map[string]func(io.Writer) error{
+		"Headline": s.Headline,
+		"Figure3":  s.Figure3,
+		"Figure4":  s.Figure4,
+		"Figure5":  s.Figure5,
+		"Figure7":  s.Figure7,
+		"Figure8":  s.Figure8,
+		"Table1":   Table1,
+		"Table2":   Table2,
+		"WriteCSV": s.WriteCSV,
+	}
+	for name, render := range renderers {
+		if err := render(&brokenWriter{n: 10, err: sentinel}); !errors.Is(err, sentinel) {
+			t.Errorf("%s: err = %v, want sentinel", name, err)
+		}
+		var ok bytes.Buffer
+		if err := render(&ok); err != nil {
+			t.Errorf("%s: err on healthy writer: %v", name, err)
+		}
 	}
 }
 

@@ -11,7 +11,8 @@ import (
 
 // This file renders the paper's figures and tables as text: the same series
 // the paper plots, printed as aligned columns so EXPERIMENTS.md can quote
-// them directly.
+// them directly. Every renderer returns the first error of the underlying
+// writer (via errWriter in csv.go) instead of dropping it.
 
 func capacities() []int { return []int{256, 512, 1024, 2048, 4096, 8192} }
 
@@ -30,24 +31,27 @@ func (a *agg) mean() float64 {
 
 // Headline prints the overall averages the abstract quotes: energy −11.2 %,
 // ACET −10.2 %, WCET −17.4 % in the paper.
-func (s *Suite) Headline(w io.Writer) {
+func (s *Suite) Headline(w io.Writer) error {
+	ew := &errWriter{w: w}
 	var e, a, t agg
 	for _, c := range s.Cells {
 		e.add(1 - ratio(c.EnergyOpt, c.EnergyOrig))
 		a.add(1 - ratio(c.ACETOpt, c.ACETOrig))
 		t.add(1 - ratio(float64(c.TauOpt), float64(c.TauOrig)))
 	}
-	fmt.Fprintf(w, "overall average improvement over %d use cases:\n", len(s.Cells))
-	fmt.Fprintf(w, "  energy   %6.2f%%   (paper: 11.2%%)\n", 100*e.mean())
-	fmt.Fprintf(w, "  ACET     %6.2f%%   (paper: 10.2%%)\n", 100*a.mean())
-	fmt.Fprintf(w, "  WCET     %6.2f%%   (paper: 17.4%%)\n", 100*t.mean())
+	fmt.Fprintf(ew, "overall average improvement over %d use cases:\n", len(s.Cells))
+	fmt.Fprintf(ew, "  energy   %6.2f%%   (paper: 11.2%%)\n", 100*e.mean())
+	fmt.Fprintf(ew, "  ACET     %6.2f%%   (paper: 10.2%%)\n", 100*a.mean())
+	fmt.Fprintf(ew, "  WCET     %6.2f%%   (paper: 17.4%%)\n", 100*t.mean())
+	return ew.err
 }
 
 // Figure3 prints the average improvement of energy consumption, ACET and
 // WCET per cache size (the three series of the paper's Figure 3).
-func (s *Suite) Figure3(w io.Writer) {
-	fmt.Fprintln(w, "Figure 3 — average improvement per cache size (percent)")
-	fmt.Fprintf(w, "%8s %10s %10s %10s %8s\n", "size", "energy", "ACET", "WCET", "cells")
+func (s *Suite) Figure3(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "Figure 3 — average improvement per cache size (percent)")
+	fmt.Fprintf(ew, "%8s %10s %10s %10s %8s\n", "size", "energy", "ACET", "WCET", "cells")
 	for _, capacity := range capacities() {
 		var e, a, t agg
 		for _, c := range s.Cells {
@@ -61,16 +65,18 @@ func (s *Suite) Figure3(w io.Writer) {
 		if e.n == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%7dB %9.2f%% %9.2f%% %9.2f%% %8d\n",
+		fmt.Fprintf(ew, "%7dB %9.2f%% %9.2f%% %9.2f%% %8d\n",
 			capacity, 100*e.mean(), 100*a.mean(), 100*t.mean(), e.n)
 	}
+	return ew.err
 }
 
 // Figure4 prints the average miss rate before and after the optimization
 // per cache size (the paper's Figure 4).
-func (s *Suite) Figure4(w io.Writer) {
-	fmt.Fprintln(w, "Figure 4 — average miss rate per cache size (percent)")
-	fmt.Fprintf(w, "%8s %12s %12s %12s\n", "size", "original", "optimized", "reduction")
+func (s *Suite) Figure4(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "Figure 4 — average miss rate per cache size (percent)")
+	fmt.Fprintf(ew, "%8s %12s %12s %12s\n", "size", "original", "optimized", "reduction")
 	for _, capacity := range capacities() {
 		var mo, mp agg
 		for _, c := range s.Cells {
@@ -87,17 +93,19 @@ func (s *Suite) Figure4(w io.Writer) {
 		if mo.mean() > 0 {
 			red = 1 - mp.mean()/mo.mean()
 		}
-		fmt.Fprintf(w, "%7dB %11.2f%% %11.2f%% %11.2f%%\n",
+		fmt.Fprintf(ew, "%7dB %11.2f%% %11.2f%% %11.2f%%\n",
 			capacity, 100*mo.mean(), 100*mp.mean(), 100*red)
 	}
+	return ew.err
 }
 
 // Figure5 prints the average reductions when the optimized binary runs on
 // half and quarter of the original capacity, compared to the original
 // binary on the full capacity (the paper's Figure 5).
-func (s *Suite) Figure5(w io.Writer) {
-	fmt.Fprintln(w, "Figure 5 — optimized binary on reduced capacity vs. original on full (percent improvement)")
-	fmt.Fprintf(w, "%8s | %10s %10s %10s | %10s %10s %10s\n",
+func (s *Suite) Figure5(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "Figure 5 — optimized binary on reduced capacity vs. original on full (percent improvement)")
+	fmt.Fprintf(ew, "%8s | %10s %10s %10s | %10s %10s %10s\n",
 		"size", "E (1/2)", "ACET (1/2)", "WCET (1/2)", "E (1/4)", "ACET (1/4)", "WCET (1/4)")
 	for _, capacity := range capacities() {
 		var eh, ah, th, eq, aq, tq agg
@@ -119,15 +127,17 @@ func (s *Suite) Figure5(w io.Writer) {
 		if eh.n == 0 && eq.n == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%7dB | %9.2f%% %9.2f%% %9.2f%% | %9.2f%% %9.2f%% %9.2f%%\n",
+		fmt.Fprintf(ew, "%7dB | %9.2f%% %9.2f%% %9.2f%% | %9.2f%% %9.2f%% %9.2f%%\n",
 			capacity, 100*eh.mean(), 100*ah.mean(), 100*th.mean(),
 			100*eq.mean(), 100*aq.mean(), 100*tq.mean())
 	}
+	return ew.err
 }
 
 // Figure7 prints the per-use-case WCET ratio (Inequation 12): a summary and
 // the worst offenders. The paper's guarantee is that no ratio exceeds one.
-func (s *Suite) Figure7(w io.Writer) {
+func (s *Suite) Figure7(w io.Writer) error {
+	ew := &errWriter{w: w}
 	type uc struct {
 		name  string
 		ratio float64
@@ -142,9 +152,9 @@ func (s *Suite) Figure7(w io.Writer) {
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].ratio < all[j].ratio })
-	fmt.Fprintln(w, "Figure 7 — WCET ratio τ_w(optimized)/τ_w(original) per use case")
+	fmt.Fprintln(ew, "Figure 7 — WCET ratio τ_w(optimized)/τ_w(original) per use case")
 	if len(all) == 0 {
-		return
+		return ew.err
 	}
 	var mean agg
 	improved := 0
@@ -154,21 +164,23 @@ func (s *Suite) Figure7(w io.Writer) {
 			improved++
 		}
 	}
-	fmt.Fprintf(w, "  use cases: %d   improved: %d   unchanged: %d   regressed: %d (must be 0)\n",
+	fmt.Fprintf(ew, "  use cases: %d   improved: %d   unchanged: %d   regressed: %d (must be 0)\n",
 		len(all), improved, len(all)-improved-over, over)
-	fmt.Fprintf(w, "  best ratio: %.4f   mean ratio: %.4f   worst ratio: %.4f\n",
+	fmt.Fprintf(ew, "  best ratio: %.4f   mean ratio: %.4f   worst ratio: %.4f\n",
 		all[0].ratio, mean.mean(), all[len(all)-1].ratio)
-	fmt.Fprintln(w, "  ten largest reductions:")
+	fmt.Fprintln(ew, "  ten largest reductions:")
 	for i := 0; i < len(all) && i < 10; i++ {
-		fmt.Fprintf(w, "    %-28s %.4f\n", all[i].name, all[i].ratio)
+		fmt.Fprintf(ew, "    %-28s %.4f\n", all[i].name, all[i].ratio)
 	}
+	return ew.err
 }
 
 // Figure8 prints the executed-instruction ratio per cache size (the paper's
 // Figure 8; their maximal increase was 1.32 %).
-func (s *Suite) Figure8(w io.Writer) {
-	fmt.Fprintln(w, "Figure 8 — executed instructions, optimized/original")
-	fmt.Fprintf(w, "%8s %10s %10s\n", "size", "average", "max")
+func (s *Suite) Figure8(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "Figure 8 — executed instructions, optimized/original")
+	fmt.Fprintf(ew, "%8s %10s %10s\n", "size", "average", "max")
 	worst := 0.0
 	for _, capacity := range capacities() {
 		var a agg
@@ -189,31 +201,36 @@ func (s *Suite) Figure8(w io.Writer) {
 		if mx > worst {
 			worst = mx
 		}
-		fmt.Fprintf(w, "%7dB %10.4f %10.4f\n", capacity, a.mean(), mx)
+		fmt.Fprintf(ew, "%7dB %10.4f %10.4f\n", capacity, a.mean(), mx)
 	}
-	fmt.Fprintf(w, "  maximal increase: %+.2f%%  (paper: +1.32%%)\n", 100*(worst-1))
+	fmt.Fprintf(ew, "  maximal increase: %+.2f%%  (paper: +1.32%%)\n", 100*(worst-1))
+	return ew.err
 }
 
 // Table1 prints the program identification table.
-func Table1(w io.Writer) {
-	fmt.Fprintln(w, "Table 1 — program identification")
+func Table1(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "Table 1 — program identification")
 	benches := malardalen.All()
 	for i := 0; i < len(benches); i += 3 {
 		for j := i; j < i+3 && j < len(benches); j++ {
-			fmt.Fprintf(w, "%-14s %-5s", benches[j].Name, benches[j].ID)
+			fmt.Fprintf(ew, "%-14s %-5s", benches[j].Name, benches[j].ID)
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(ew)
 	}
+	return ew.err
 }
 
 // Table2 prints the cache configuration table.
-func Table2(w io.Writer) {
-	fmt.Fprintln(w, "Table 2 — cache configurations (a, b, c) = (assoc, block bytes, capacity bytes)")
+func Table2(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "Table 2 — cache configurations (a, b, c) = (assoc, block bytes, capacity bytes)")
 	cfgs := cache.Table2()
 	for i := 0; i < len(cfgs); i += 3 {
 		for j := i; j < i+3 && j < len(cfgs); j++ {
-			fmt.Fprintf(w, "%-14s %-5s", cfgs[j].String(), cache.ConfigID(j))
+			fmt.Fprintf(ew, "%-14s %-5s", cfgs[j].String(), cache.ConfigID(j))
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(ew)
 	}
+	return ew.err
 }

@@ -1,0 +1,69 @@
+package isa
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint returns a stable, content-addressed hash of the program: a
+// hex-encoded SHA-256 over a canonical binary encoding of everything that
+// determines analysis results — the instruction stream (kinds and prefetch
+// targets), the control flow (entry, successors), the layout inputs (base
+// address, alignment requests, block order), and the loop annotations
+// (bounds, average iterations, nesting).
+//
+// Two Programs with equal Fingerprint are analysis-equivalent: the WCET
+// analysis, the optimizer, and the simulator are deterministic functions
+// of exactly the encoded fields (plus their own options), so the service
+// layer keys its result cache on this hash. Field values are length- and
+// position-delimited, making the encoding prefix-free; a one-instruction
+// change, a different successor, or a changed loop bound all produce a
+// different digest.
+func Fingerprint(p *Program) string {
+	h := sha256.New()
+	var buf [8]byte
+	u := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	i := func(v int) { u(uint64(int64(v))) }
+	f := func(v float64) { u(math.Float64bits(v)) }
+	str := func(s string) {
+		u(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	str(p.Name)
+	u(p.Base)
+	i(p.Entry)
+	i(len(p.Blocks))
+	for _, b := range p.Blocks {
+		i(b.ID)
+		i(b.Align)
+		f(b.TakenProb)
+		i(len(b.Succs))
+		for _, s := range b.Succs {
+			i(s)
+		}
+		i(len(b.Instrs))
+		for _, in := range b.Instrs {
+			u(uint64(in.Kind))
+			i(in.Target.Block)
+			i(in.Target.Index)
+		}
+	}
+	i(len(p.Loops))
+	for _, l := range p.Loops {
+		i(l.Head)
+		i(l.Bound)
+		f(l.AvgIters)
+		i(l.Parent)
+		i(len(l.Blocks))
+		for _, b := range l.Blocks {
+			i(b)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,78 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// fpProg builds a small two-block program with a loop the way the
+// benchmark builders do, so repeated invocations exercise the same path.
+func fpProg() *Program {
+	return Build("fp",
+		Code(3),
+		Loop(8, 6.0, Code(4)),
+		Code(2),
+	)
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := Fingerprint(fpProg())
+	b := Fingerprint(fpProg())
+	if a != b {
+		t.Fatalf("two identical builder invocations disagree:\n%s\n%s", a, b)
+	}
+	if len(a) != 64 || strings.ToLower(a) != a {
+		t.Fatalf("fingerprint is not lowercase hex sha256: %q", a)
+	}
+	if Fingerprint(fpProg().Clone()) != a {
+		t.Error("Clone changed the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint(fpProg())
+
+	// One added instruction.
+	p := fpProg()
+	p.InsertInstr(InstrRef{Block: 0, Index: 0}, Instr{Kind: KindOp})
+	if Fingerprint(p) == base {
+		t.Error("inserting an instruction did not change the fingerprint")
+	}
+
+	// One changed instruction kind, same shape.
+	p = fpProg()
+	p.Blocks[0].Instrs[0].Kind = KindPad
+	if Fingerprint(p) == base {
+		t.Error("changing an instruction kind did not change the fingerprint")
+	}
+
+	// A changed prefetch target.
+	p = fpProg()
+	p.InsertInstr(InstrRef{Block: 0, Index: 0}, Instr{Kind: KindPrefetch, Target: InstrRef{Block: 0, Index: 2}})
+	q := fpProg()
+	q.InsertInstr(InstrRef{Block: 0, Index: 0}, Instr{Kind: KindPrefetch, Target: InstrRef{Block: 0, Index: 1}})
+	if Fingerprint(p) == Fingerprint(q) {
+		t.Error("prefetch target is not part of the fingerprint")
+	}
+
+	// A changed loop bound (flow fact), identical instructions.
+	p = fpProg()
+	p.Loops[0].Bound++
+	if Fingerprint(p) == base {
+		t.Error("loop bound is not part of the fingerprint")
+	}
+
+	// A different base address relocates every memory block.
+	p = fpProg()
+	p.Base = 0x20000
+	if Fingerprint(p) == base {
+		t.Error("base address is not part of the fingerprint")
+	}
+
+	// A renamed program is a different cache identity.
+	p = fpProg()
+	p.Name = "fp2"
+	if Fingerprint(p) == base {
+		t.Error("name is not part of the fingerprint")
+	}
+}

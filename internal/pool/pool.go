@@ -1,0 +1,87 @@
+// Package pool provides the bounded worker pool shared by the analysis
+// service (internal/service) and the evaluation sweep
+// (internal/experiment). One Pool instance bounds the number of analysis
+// cells in flight across every caller that shares it, so a server with
+// GOMAXPROCS workers cannot be pushed past the hardware by a burst of
+// sweep jobs.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool bounds the number of concurrently running tasks. The zero value is
+// not usable; construct with New.
+type Pool struct {
+	workers int
+	sem     chan struct{}
+}
+
+// New returns a pool running at most workers tasks at once. A
+// non-positive workers selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn(ctx, i) for i in [0, n), at most Workers at a time, and
+// waits for every started task to finish. The first non-nil error cancels
+// the context passed to the remaining tasks and stops new tasks from
+// starting; that error is returned. If the parent context is cancelled
+// before all tasks have started, ForEach stops launching and returns the
+// context's error (already-started tasks still run to completion).
+//
+// Several ForEach calls may share one Pool concurrently; the bound applies
+// to the union of their tasks. Do not call ForEach from inside a task of
+// the same pool — the held slot can deadlock the inner call.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+spawn:
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			break spawn
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return context.Cause(ctx)
+}

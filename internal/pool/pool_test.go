@@ -1,0 +1,134 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	p := New(4)
+	if p.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", p.Workers())
+	}
+	var done [100]atomic.Bool
+	err := p.ForEach(context.Background(), len(done), func(_ context.Context, i int) error {
+		done[i].Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range done {
+		if !done[i].Load() {
+			t.Fatalf("task %d never ran", i)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var cur, peak atomic.Int64
+	err := p.ForEach(context.Background(), 50, func(_ context.Context, i int) error {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds bound %d", got, workers)
+	}
+}
+
+func TestForEachFirstErrorCancels(t *testing.T) {
+	p := New(2)
+	boom := errors.New("boom")
+	var started atomic.Int64
+	err := p.ForEach(context.Background(), 1000, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 3 {
+			return boom
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(50 * time.Millisecond):
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Error("error did not stop new tasks from starting")
+	}
+}
+
+func TestForEachParentCancel(t *testing.T) {
+	p := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	ran := 0
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	err := p.ForEach(ctx, 10000, func(context.Context, int) error {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran == 10000 {
+		t.Error("cancellation did not stop the spawn loop")
+	}
+}
+
+func TestSharedPoolAcrossForEach(t *testing.T) {
+	p := New(2)
+	var cur, peak atomic.Int64
+	task := func(context.Context, int) error {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.ForEach(context.Background(), 10, task); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("shared pool peak %d exceeds bound 2", got)
+	}
+}

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"ucp/internal/cache"
+	"ucp/internal/cliutil"
+	"ucp/internal/energy"
+	"ucp/internal/experiment"
+	"ucp/internal/isa"
+	"ucp/internal/malardalen"
+)
+
+// AnalyzeRequest selects one use case: a benchmark program, a Table 2
+// cache configuration, and a process technology.
+type AnalyzeRequest struct {
+	Program string `json:"program"`
+	Config  string `json:"config"`
+	Tech    string `json:"tech"`
+	// Runs is the number of average-case simulations (default 3).
+	Runs int `json:"runs,omitempty"`
+	// ValidationBudget caps the optimizer's re-analyses (0 = default).
+	ValidationBudget int `json:"validation_budget,omitempty"`
+}
+
+// Result is the measurement of one use case: the paper's per-cell metrics
+// before and after the prefetch optimization, plus the content address the
+// result is cached under.
+type Result struct {
+	Program       string  `json:"program"`
+	Config        string  `json:"config"`
+	Assoc         int     `json:"assoc"`
+	BlockBytes    int     `json:"block_bytes"`
+	CapacityBytes int     `json:"capacity_bytes"`
+	Tech          string  `json:"tech"`
+	Inserted      int     `json:"inserted"`
+	Cond3Reverted bool    `json:"cond3_reverted"`
+	WCETOrig      int64   `json:"wcet_orig"`
+	WCETOpt       int64   `json:"wcet_opt"`
+	ACETOrig      float64 `json:"acet_orig"`
+	ACETOpt       float64 `json:"acet_opt"`
+	MissRateOrig  float64 `json:"missrate_orig"`
+	MissRateOpt   float64 `json:"missrate_opt"`
+	EnergyOrigPJ  float64 `json:"energy_orig_pj"`
+	EnergyOptPJ   float64 `json:"energy_opt_pj"`
+	CacheKey      string  `json:"cache_key"`
+}
+
+// httpError carries a status code from request resolution to the handler.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errorf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// useCase is a fully resolved AnalyzeRequest.
+type useCase struct {
+	bench  malardalen.Benchmark
+	cfgIdx int
+	cfg    cache.Config
+	tech   energy.Tech
+	runs   int
+	budget int
+}
+
+// resolve validates an AnalyzeRequest against the benchmark suite and the
+// configuration table. An unknown program is 404 (the resource does not
+// exist); malformed configs, techs, and option values are 400.
+func (s *Server) resolve(req AnalyzeRequest) (useCase, error) {
+	b, ok := s.benches[req.Program]
+	if !ok {
+		return useCase{}, errorf(404, "unknown benchmark %q", req.Program)
+	}
+	ci, err := cliutil.Config(req.Config)
+	if err != nil {
+		return useCase{}, errorf(400, "%v", err)
+	}
+	tech, err := cliutil.Tech(req.Tech)
+	if err != nil {
+		return useCase{}, errorf(400, "%v", err)
+	}
+	runs := req.Runs
+	if runs == 0 {
+		runs = 3
+	}
+	if runs < 0 || runs > maxRuns {
+		return useCase{}, errorf(400, "runs %d out of range [1,%d]", req.Runs, maxRuns)
+	}
+	if req.ValidationBudget < 0 {
+		return useCase{}, errorf(400, "validation_budget must be non-negative")
+	}
+	return useCase{
+		bench:  b,
+		cfgIdx: ci,
+		cfg:    cache.Table2()[ci],
+		tech:   tech,
+		runs:   runs,
+		budget: req.ValidationBudget,
+	}, nil
+}
+
+// maxRuns bounds the per-request simulation count so a single query cannot
+// monopolize a worker for long.
+const maxRuns = 64
+
+// cacheKey is the content address of a use-case result: a SHA-256 over the
+// program fingerprint (which already covers the full instruction stream,
+// layout, and flow facts) and every option that changes the numbers. The
+// leading version tag invalidates the scheme wholesale when the encoding
+// or the pipeline semantics change.
+func cacheKey(fp string, cfg cache.Config, tech energy.Tech, runs, budget int) string {
+	h := sha256.Sum256(fmt.Appendf(nil, "ucp-v1|%s|%d|%d|%d|%s|%d|%d",
+		fp, cfg.Assoc, cfg.BlockBytes, cfg.CapacityBytes, tech, runs, budget))
+	return hex.EncodeToString(h[:])
+}
+
+// analyze returns the measurement for one resolved use case, serving it
+// from the content-addressed cache when an identical query has already
+// been answered. cached reports where the result came from.
+func (s *Server) analyze(uc useCase) (res Result, cached bool, err error) {
+	key := cacheKey(isa.Fingerprint(uc.bench.Prog), uc.cfg, uc.tech, uc.runs, uc.budget)
+	if v, ok := s.cache.get(key); ok {
+		return v, true, nil
+	}
+
+	start := time.Now()
+	cell, err := experiment.RunCell(uc.bench, uc.cfgIdx, uc.tech, experiment.Options{
+		Runs:             uc.runs,
+		ValidationBudget: uc.budget,
+		SkipReduced:      true,
+	})
+	s.metrics.observeAnalysis(time.Since(start), err == nil)
+	if err != nil {
+		// The pipeline is total over the suite, so this is unexpected;
+		// it is not a cacheable result either way.
+		return Result{}, false, fmt.Errorf("analyze %s/%s/%s: %w",
+			uc.bench.Name, cache.ConfigID(uc.cfgIdx), uc.tech, err)
+	}
+	res = Result{
+		Program:       cell.Program,
+		Config:        cell.ConfigID,
+		Assoc:         cell.Cfg.Assoc,
+		BlockBytes:    cell.Cfg.BlockBytes,
+		CapacityBytes: cell.Cfg.CapacityBytes,
+		Tech:          cell.Tech.String(),
+		Inserted:      cell.Inserted,
+		Cond3Reverted: cell.Cond3Reverted,
+		WCETOrig:      cell.TauOrig,
+		WCETOpt:       cell.TauOpt,
+		ACETOrig:      cell.ACETOrig,
+		ACETOpt:       cell.ACETOpt,
+		MissRateOrig:  cell.MissRateOrig,
+		MissRateOpt:   cell.MissRateOpt,
+		EnergyOrigPJ:  cell.EnergyOrig,
+		EnergyOptPJ:   cell.EnergyOpt,
+		CacheKey:      key,
+	}
+	s.cache.put(key, res)
+	return res, false, nil
+}

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: a bounded LRU keyed by
+// the SHA-256 cache key of a use case (see cacheKey). Because the key
+// covers the program fingerprint and every option that changes the
+// numbers, a hit can be returned verbatim — the cached value is the value
+// a fresh analysis would compute.
+type resultCache struct {
+	mu    sync.Mutex
+	limit int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key string
+	val Result
+}
+
+func newResultCache(limit int) *resultCache {
+	if limit <= 0 {
+		limit = 512
+	}
+	return &resultCache{
+		limit: limit,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element, limit),
+	}
+}
+
+// get returns the cached result and promotes it to most recently used.
+func (c *resultCache) get(key string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return Result{}, false
+}
+
+// put stores the result, evicting the least recently used entry when the
+// bound is exceeded. Storing an existing key refreshes its value and
+// recency.
+func (c *resultCache) put(key string, v Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: v})
+	for c.ll.Len() > c.limit {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns the hit/miss counters and the current entry count.
+func (c *resultCache) stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

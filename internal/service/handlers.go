@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"ucp/internal/cache"
+)
+
+// routes wires the API. Method-qualified patterns (Go 1.22 ServeMux) give
+// 405 on wrong methods for free.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/configs", s.handleConfigs)
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	return mux
+}
+
+// writeJSON renders v with a status code; encoding errors are logged, not
+// recoverable (headers are gone).
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.log.Error("encode response", "err", err)
+	}
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody parses the JSON request body into v, translating the body
+// size limit into 413 and malformed JSON into 400. It reports whether
+// decoding succeeded; on failure the error response has been written.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// resolveErr maps a resolution error onto its HTTP status.
+func (s *Server) resolveErr(w http.ResponseWriter, err error) {
+	var he *httpError
+	if errors.As(err, &he) {
+		s.writeError(w, he.status, "%s", he.msg)
+		return
+	}
+	s.writeError(w, http.StatusInternalServerError, "%v", err)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.renderMetrics(w); err != nil {
+		s.log.Error("render metrics", "err", err)
+	}
+}
+
+// benchmarkInfo is one /v1/benchmarks entry.
+type benchmarkInfo struct {
+	Name         string `json:"name"`
+	ID           string `json:"id"`
+	Instructions int    `json:"instructions"`
+	Blocks       int    `json:"blocks"`
+	Loops        int    `json:"loops"`
+	Note         string `json:"note"`
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	out := make([]benchmarkInfo, 0, len(s.benchNames))
+	for _, name := range s.benchNames {
+		b := s.benches[name]
+		out = append(out, benchmarkInfo{
+			Name:         b.Name,
+			ID:           b.ID,
+			Instructions: b.Prog.NInstr(),
+			Blocks:       len(b.Prog.Blocks),
+			Loops:        len(b.Prog.Loops),
+			Note:         b.Note,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// configInfo is one /v1/configs entry.
+type configInfo struct {
+	Label         string `json:"label"`
+	Assoc         int    `json:"assoc"`
+	BlockBytes    int    `json:"block_bytes"`
+	CapacityBytes int    `json:"capacity_bytes"`
+	Sets          int    `json:"sets"`
+}
+
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	cfgs := cache.Table2()
+	out := make([]configInfo, 0, len(cfgs))
+	for i, c := range cfgs {
+		out = append(out, configInfo{
+			Label:         cache.ConfigID(i),
+			Assoc:         c.Assoc,
+			BlockBytes:    c.BlockBytes,
+			CapacityBytes: c.CapacityBytes,
+			Sets:          c.NumSets(),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	uc, err := s.resolve(req)
+	if err != nil {
+		s.resolveErr(w, err)
+		return
+	}
+	// The synchronous path still goes through the shared pool so a burst
+	// of /v1/analyze requests cannot oversubscribe the machine; one
+	// request occupies exactly one worker slot.
+	var (
+		res    Result
+		cached bool
+	)
+	perr := s.pool.ForEach(r.Context(), 1, func(_ context.Context, _ int) error {
+		var aerr error
+		res, cached, aerr = s.analyze(uc)
+		return aerr
+	})
+	if perr != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", perr)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, analyzeResponse{Result: res, Cached: cached})
+}
+
+// analyzeResponse wraps a Result with its cache provenance.
+type analyzeResponse struct {
+	Result
+	Cached bool `json:"cached"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	cases, err := s.resolveSweep(req)
+	if err != nil {
+		s.resolveErr(w, err)
+		return
+	}
+	j := s.startSweep(cases)
+	s.writeJSON(w, http.StatusAccepted, map[string]any{
+		"job_id":     j.id,
+		"cells":      len(cases),
+		"status_url": "/v1/jobs/" + j.id,
+	})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, j.status())
+}

@@ -1,0 +1,260 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SweepRequest submits a program × configuration × technology matrix. An
+// empty list selects the full axis (all 37 programs, all 36 Table 2
+// configurations, both technologies).
+type SweepRequest struct {
+	Programs         []string `json:"programs,omitempty"`
+	Configs          []string `json:"configs,omitempty"`
+	Techs            []string `json:"techs,omitempty"`
+	Runs             int      `json:"runs,omitempty"`
+	ValidationBudget int      `json:"validation_budget,omitempty"`
+}
+
+type jobState string
+
+const (
+	jobQueued  jobState = "queued"
+	jobRunning jobState = "running"
+	jobDone    jobState = "done"
+	jobFailed  jobState = "failed"
+)
+
+// JobStatus is the wire view of a sweep job.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Total int    `json:"total"`
+	Done  int    `json:"done"`
+	// CacheHits counts cells answered from the result cache.
+	CacheHits  int       `json:"cache_hits"`
+	Error      string    `json:"error,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+	// Results lists one entry per cell, in deterministic (program,
+	// config, technology) request order; present only when State is done.
+	Results []Result `json:"results,omitempty"`
+}
+
+// job is one asynchronous sweep: a list of resolved use cases worked
+// through the server's shared pool.
+type job struct {
+	id    string
+	cases []useCase
+
+	mu        sync.Mutex
+	state     jobState
+	done      int
+	cacheHits int
+	errMsg    string
+	created   time.Time
+	finished  time.Time
+	results   []Result
+}
+
+// status snapshots the job for the wire. Results are shared read-only once
+// the job is done (they are never mutated afterwards).
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:         j.id,
+		State:      string(j.state),
+		Total:      len(j.cases),
+		Done:       j.done,
+		CacheHits:  j.cacheHits,
+		Error:      j.errMsg,
+		CreatedAt:  j.created,
+		FinishedAt: j.finished,
+	}
+	if j.state == jobDone {
+		st.Results = j.results
+	}
+	return st
+}
+
+// maxFinishedJobs bounds the job store: once exceeded, the oldest finished
+// jobs (and their result payloads) are dropped. Queued and running jobs
+// are never pruned.
+const maxFinishedJobs = 256
+
+// jobStore indexes jobs by ID and assigns sequential IDs.
+type jobStore struct {
+	mu    sync.Mutex
+	seq   int
+	jobs  map[string]*job
+	order []string // creation order, for pruning
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: map[string]*job{}}
+}
+
+func (s *jobStore) add(cases []useCase) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", s.seq),
+		cases:   cases,
+		state:   jobQueued,
+		created: time.Now().UTC(),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.prune()
+	return j
+}
+
+// prune drops the oldest finished jobs beyond maxFinishedJobs. Caller
+// holds s.mu.
+func (s *jobStore) prune() {
+	finished := 0
+	for _, id := range s.order {
+		if st := s.jobs[id]; st != nil && (st.currentState() == jobDone || st.currentState() == jobFailed) {
+			finished++
+		}
+	}
+	if finished <= maxFinishedJobs {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j != nil && finished > maxFinishedJobs && (j.currentState() == jobDone || j.currentState() == jobFailed) {
+			delete(s.jobs, id)
+			finished--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+func (j *job) currentState() jobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// counts tallies jobs by state for /metrics.
+func (s *jobStore) counts() map[jobState]int {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		if j := s.jobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := map[jobState]int{jobQueued: 0, jobRunning: 0, jobDone: 0, jobFailed: 0}
+	for _, j := range jobs {
+		out[j.currentState()]++
+	}
+	return out
+}
+
+// startSweep registers a job for the resolved matrix and launches it on
+// the shared worker pool. The job's context inherits the server's base
+// context (cancelled on shutdown) and the configured per-job timeout.
+func (s *Server) startSweep(cases []useCase) *job {
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	j := s.jobs.add(cases)
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+
+		j.mu.Lock()
+		j.state = jobRunning
+		results := make([]Result, len(j.cases))
+		j.mu.Unlock()
+
+		err := s.pool.ForEach(ctx, len(j.cases), func(_ context.Context, i int) error {
+			res, cached, err := s.analyze(j.cases[i])
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			j.mu.Lock()
+			j.done++
+			if cached {
+				j.cacheHits++
+			}
+			j.mu.Unlock()
+			return nil
+		})
+
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.finished = time.Now().UTC()
+		if err != nil {
+			j.state = jobFailed
+			j.errMsg = err.Error()
+			return
+		}
+		j.state = jobDone
+		j.results = results
+	}()
+	return j
+}
+
+// resolveSweep expands a SweepRequest into the deterministic use-case
+// list: programs × configs × techs in request (or canonical) order.
+func (s *Server) resolveSweep(req SweepRequest) ([]useCase, error) {
+	programs := req.Programs
+	if len(programs) == 0 {
+		programs = s.benchNames
+	}
+	configs := req.Configs
+	if len(configs) == 0 {
+		configs = s.configLabels
+	}
+	techs := req.Techs
+	if len(techs) == 0 {
+		techs = []string{"45nm", "32nm"}
+	}
+	total := len(programs) * len(configs) * len(techs)
+	if total > maxSweepCells {
+		return nil, errorf(400, "sweep matrix has %d cells, limit %d", total, maxSweepCells)
+	}
+	cases := make([]useCase, 0, total)
+	for _, p := range programs {
+		for _, c := range configs {
+			for _, t := range techs {
+				uc, err := s.resolve(AnalyzeRequest{
+					Program:          p,
+					Config:           c,
+					Tech:             t,
+					Runs:             req.Runs,
+					ValidationBudget: req.ValidationBudget,
+				})
+				if err != nil {
+					return nil, err
+				}
+				cases = append(cases, uc)
+			}
+		}
+	}
+	return cases, nil
+}
+
+// maxSweepCells caps one job at the full evaluation matrix (37 × 36 × 2 =
+// 2664) with headroom; larger requests should be split into several jobs.
+const maxSweepCells = 4096

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent analysis latencies the quantile
+// estimator keeps. A fixed ring keeps /metrics O(window) regardless of
+// uptime; with 1024 samples the p99 estimate rests on ~10 observations,
+// coarse but honest for an operational dashboard.
+const latencyWindow = 1024
+
+// metrics holds the server's operational counters. The cache and job
+// counters live with their owners (resultCache, jobStore) and are pulled
+// in at render time; this struct owns the request and latency series.
+type metrics struct {
+	mu        sync.Mutex
+	byRoute   map[string]int64
+	analyses  int64                  // analyses actually executed (cache misses that ran)
+	failures  int64                  // executed analyses that returned an error
+	latencies [latencyWindow]float64 // seconds
+	lat       int                    // next write position
+	latN      int                    // filled entries
+}
+
+func newMetrics() *metrics {
+	return &metrics{byRoute: map[string]int64{}}
+}
+
+// countRequest bumps the per-route request counter.
+func (m *metrics) countRequest(route string) {
+	m.mu.Lock()
+	m.byRoute[route]++
+	m.mu.Unlock()
+}
+
+// observeAnalysis records one executed (non-cached) analysis.
+func (m *metrics) observeAnalysis(d time.Duration, ok bool) {
+	m.mu.Lock()
+	m.analyses++
+	if !ok {
+		m.failures++
+	}
+	m.latencies[m.lat] = d.Seconds()
+	m.lat = (m.lat + 1) % latencyWindow
+	if m.latN < latencyWindow {
+		m.latN++
+	}
+	m.mu.Unlock()
+}
+
+// quantiles returns the requested quantiles over the latency window using
+// the nearest-rank method, or zeros when nothing has been observed.
+func (m *metrics) quantiles(qs ...float64) []float64 {
+	m.mu.Lock()
+	sorted := make([]float64, m.latN)
+	copy(sorted, m.latencies[:m.latN])
+	m.mu.Unlock()
+	out := make([]float64, len(qs))
+	if len(sorted) == 0 {
+		return out
+	}
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		rank := int(q * float64(len(sorted)-1))
+		out[i] = sorted[rank]
+	}
+	return out
+}
+
+// render writes the Prometheus text exposition of every counter the server
+// keeps: requests, cache effectiveness, job states, and analysis latency.
+func (s *Server) renderMetrics(w io.Writer) error {
+	ew := &metricsWriter{w: w}
+
+	ew.head("ucp_requests_total", "counter", "HTTP requests served, by route.")
+	s.metrics.mu.Lock()
+	routes := make([]string, 0, len(s.metrics.byRoute))
+	for r := range s.metrics.byRoute {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		ew.printf("ucp_requests_total{route=%q} %d\n", r, s.metrics.byRoute[r])
+	}
+	analyses, failures := s.metrics.analyses, s.metrics.failures
+	s.metrics.mu.Unlock()
+
+	hits, misses, entries := s.cache.stats()
+	ew.head("ucp_cache_hits_total", "counter", "Result-cache hits.")
+	ew.printf("ucp_cache_hits_total %d\n", hits)
+	ew.head("ucp_cache_misses_total", "counter", "Result-cache misses.")
+	ew.printf("ucp_cache_misses_total %d\n", misses)
+	ew.head("ucp_cache_entries", "gauge", "Resident result-cache entries.")
+	ew.printf("ucp_cache_entries %d\n", entries)
+
+	ew.head("ucp_analyses_total", "counter", "Analyses executed (cache misses that ran the optimizer).")
+	ew.printf("ucp_analyses_total %d\n", analyses)
+	ew.head("ucp_analysis_failures_total", "counter", "Executed analyses that returned an error.")
+	ew.printf("ucp_analysis_failures_total %d\n", failures)
+
+	counts := s.jobs.counts()
+	ew.head("ucp_jobs", "gauge", "Sweep jobs by state.")
+	for _, st := range []jobState{jobQueued, jobRunning, jobDone, jobFailed} {
+		ew.printf("ucp_jobs{state=%q} %d\n", string(st), counts[st])
+	}
+
+	qs := s.metrics.quantiles(0.5, 0.99)
+	ew.head("ucp_analysis_latency_seconds", "summary", "Latency of executed analyses (recent window).")
+	ew.printf("ucp_analysis_latency_seconds{quantile=\"0.5\"} %.6f\n", qs[0])
+	ew.printf("ucp_analysis_latency_seconds{quantile=\"0.99\"} %.6f\n", qs[1])
+	return ew.err
+}
+
+// metricsWriter latches the first write error like experiment's errWriter.
+type metricsWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (m *metricsWriter) printf(format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, format, args...)
+}
+
+func (m *metricsWriter) head(name, typ, help string) {
+	m.printf("# HELP %s %s\n", name, help)
+	m.printf("# TYPE %s %s\n", name, typ)
+}

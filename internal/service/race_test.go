@@ -1,0 +1,115 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// post is a goroutine-safe POST helper (no t.Fatal): it returns the status
+// code and body, or an error string via the second return.
+func post(url, body string) (int, []byte, string) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err.Error()
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err.Error()
+	}
+	return resp.StatusCode, b, ""
+}
+
+// TestConcurrentSweepsAndAnalyzes hammers the shared worker pool from many
+// clients at once: overlapping sweep jobs and synchronous analyzes racing
+// for the same cache keys. Run with -race this exercises the pool, the
+// LRU, the job store, and the metrics under contention.
+func TestConcurrentSweepsAndAnalyzes(t *testing.T) {
+	ts, svc := testServer(t, Config{Workers: 4})
+
+	sweep := `{"programs":["fibcall","fac","bs"],"configs":["k1","k2"],"techs":["45nm"],"runs":1,"validation_budget":20}`
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+
+	// Four identical sweep jobs racing each other.
+	jobURLs := make(chan string, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body, errstr := post(ts.URL+"/v1/sweep", sweep)
+			if errstr != "" {
+				errs <- errstr
+				return
+			}
+			if status != http.StatusAccepted {
+				errs <- "sweep submit: unexpected status " + string(body)
+				return
+			}
+			var sub struct {
+				StatusURL string `json:"status_url"`
+			}
+			if err := json.Unmarshal(body, &sub); err != nil {
+				errs <- err.Error()
+				return
+			}
+			jobURLs <- sub.StatusURL
+		}()
+	}
+
+	// Eight clients re-asking the same two questions.
+	for i := 0; i < 8; i++ {
+		body := smallAnalyze
+		if i%2 == 1 {
+			body = strings.Replace(body, "k1", "k2", 1)
+		}
+		wg.Add(1)
+		go func(body string) {
+			defer wg.Done()
+			for n := 0; n < 3; n++ {
+				status, b, errstr := post(ts.URL+"/v1/analyze", body)
+				if errstr != "" {
+					errs <- errstr
+					return
+				}
+				if status != 200 {
+					errs <- "analyze: unexpected status: " + string(b)
+					return
+				}
+			}
+		}(body)
+	}
+
+	wg.Wait()
+	close(jobURLs)
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	for u := range jobURLs {
+		st := pollJob(t, ts.URL+u)
+		if st.State != string(jobDone) {
+			t.Errorf("job %s: state=%s err=%s", st.ID, st.State, st.Error)
+		}
+		if len(st.Results) != 6 {
+			t.Errorf("job %s: results=%d, want 6", st.ID, len(st.Results))
+		}
+	}
+
+	// The cache must have collapsed the duplicated work: every lookup is
+	// accounted for, and the workload of identical queries produced hits
+	// (concurrent first misses may race, but repeats must be served).
+	hits, misses, _ := svc.cache.stats()
+	if hits == 0 {
+		t.Error("no cache hits under a workload of identical queries")
+	}
+	total := int64(4*6 + 8*3) // sweep cells + analyze calls
+	if hits+misses < total {
+		t.Errorf("cache saw %d lookups, want >= %d", hits+misses, total)
+	}
+}

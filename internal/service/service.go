@@ -1,0 +1,170 @@
+// Package service exposes the full unlocked-cache-prefetching pipeline
+// (assemble → VIVU expansion → abstract interpretation → prefetch
+// optimization → simulation → energy model) as a long-running
+// JSON-over-HTTP service. Exact cache analysis is expensive and heavily
+// re-requested — the same (program, configuration, technology) cells recur
+// across sweeps and clients — so the server memoizes every answer in a
+// bounded, content-addressed result cache keyed by the program fingerprint
+// and the analysis options, and schedules cells onto a bounded worker pool
+// shared with internal/experiment.
+//
+// Endpoints:
+//
+//	POST /v1/analyze    one use case, synchronous
+//	POST /v1/sweep      a use-case matrix, asynchronous (returns a job ID)
+//	GET  /v1/jobs/{id}  job status and, when done, the ordered results
+//	GET  /v1/benchmarks the Mälardalen suite
+//	GET  /v1/configs    the Table 2 configurations
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text counters
+package service
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"ucp/internal/cache"
+	"ucp/internal/malardalen"
+	"ucp/internal/pool"
+)
+
+// Config tunes the server. The zero value is production-usable.
+type Config struct {
+	// Workers bounds concurrently running analysis cells across all
+	// requests and jobs (0 = GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the content-addressed result cache
+	// (0 = 512 entries).
+	CacheEntries int
+	// MaxBodyBytes bounds request bodies; larger requests get 413
+	// (0 = 1 MiB).
+	MaxBodyBytes int64
+	// JobTimeout cancels a sweep job that has run longer
+	// (0 = 15 minutes).
+	JobTimeout time.Duration
+	// Logger receives one structured line per request (nil = slog default).
+	Logger *slog.Logger
+}
+
+// Server is the analysis service. Create with New, expose via Handler,
+// stop background jobs with Close.
+type Server struct {
+	cfg     Config
+	pool    *pool.Pool
+	cache   *resultCache
+	jobs    *jobStore
+	metrics *metrics
+	mux     *http.ServeMux
+	log     *slog.Logger
+
+	// benches indexes the suite by name; the contained Programs are
+	// treated as read-only and shared across workers (the optimizer
+	// clones before mutating).
+	benches      map[string]malardalen.Benchmark
+	benchNames   []string
+	configLabels []string
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 15 * time.Minute
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    pool.New(cfg.Workers),
+		cache:   newResultCache(cfg.CacheEntries),
+		jobs:    newJobStore(),
+		metrics: newMetrics(),
+		log:     cfg.Logger,
+		benches: map[string]malardalen.Benchmark{},
+	}
+	for _, b := range malardalen.All() {
+		s.benches[b.Name] = b
+		s.benchNames = append(s.benchNames, b.Name)
+	}
+	for i := range cache.Table2() {
+		s.configLabels = append(s.configLabels, cache.ConfigID(i))
+	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	s.mux = s.routes()
+	return s
+}
+
+// Handler returns the HTTP handler: the API routes wrapped in request
+// logging, metrics, and the body size limit.
+func (s *Server) Handler() http.Handler {
+	var h http.Handler = s.mux
+	h = http.MaxBytesHandler(h, s.cfg.MaxBodyBytes)
+	return s.logging(h)
+}
+
+// Close cancels every running job's context and waits for the job
+// goroutines to drain. Call after the HTTP server has shut down.
+func (s *Server) Close() {
+	s.stop()
+	s.wg.Wait()
+}
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// logging emits one structured line per request and feeds the per-route
+// request counter.
+func (s *Server) logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		// Normalize the one parameterized route so /metrics label
+		// cardinality stays bounded.
+		path := r.URL.Path
+		if strings.HasPrefix(path, "/v1/jobs/") {
+			path = "/v1/jobs/{id}"
+		}
+		s.metrics.countRequest(r.Method + " " + path)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration_ms", time.Since(start).Milliseconds(),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
