@@ -233,6 +233,127 @@ func BenchmarkAbstractInterpretation(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeXFull measures one from-scratch analysis of the mutated
+// program — the cost every validation paid before incremental re-validation.
+func BenchmarkAnalyzeXFull(b *testing.B) {
+	p, _ := malardalen.ByName("statemate")
+	prog := p.Prog.Clone()
+	x, err := vivu.Expand(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 1024}
+	par := wcet.Params{HitCycles: 1, MissPenalty: 16, Lambda: 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wcet.AnalyzeX(x, cfg, par); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchIncrementalAnchor picks the insertion anchor the incremental
+// benchmark toggles a prefetch at: the middle block of the program, so
+// roughly half the layout shifts per mutation — the average case for the
+// optimizer's trial insertions.
+func benchIncrementalAnchor(prog *isa.Program) isa.InstrRef {
+	b := prog.Blocks[len(prog.Blocks)/2]
+	for len(b.Instrs) < 2 {
+		b = prog.Blocks[(b.ID+1)%len(prog.Blocks)]
+	}
+	return isa.InstrRef{Block: b.ID, Index: len(b.Instrs) - 2}
+}
+
+// BenchmarkAnalyzeXIncremental measures the optimizer's steady state: each
+// iteration mutates the program (toggling a prefetch at a mid-program
+// anchor, shifting half the layout) and re-validates with AnalyzeXFrom
+// seeded from the previous result.
+func BenchmarkAnalyzeXIncremental(b *testing.B) {
+	p, _ := malardalen.ByName("statemate")
+	prog := p.Prog.Clone()
+	x, err := vivu.Expand(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 1024}
+	par := wcet.Params{HitCycles: 1, MissPenalty: 16, Lambda: 16}
+	anchor := benchIncrementalAnchor(prog)
+	target := isa.InstrRef{Block: prog.Blocks[0].ID, Index: 0}
+	prev, err := wcet.AnalyzeX(x, cfg, par)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			prog.InsertInstr(anchor, isa.Instr{Kind: isa.KindPrefetch, Target: target})
+		} else {
+			prog.RemoveInstr(anchor)
+		}
+		prev, err = wcet.AnalyzeXFrom(x, cfg, par, prev)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// densestState returns the converged in-state with the most entries — the
+// worst case for Clone and Join.
+func densestState(res *absint.Result) *absint.State {
+	var best *absint.State
+	bestN := -1
+	for _, st := range res.In {
+		if st == nil {
+			continue
+		}
+		if n := st.Entries(); n > bestN {
+			best, bestN = st, n
+		}
+	}
+	return best
+}
+
+func BenchmarkStateClone(b *testing.B) {
+	p, _ := malardalen.ByName("statemate")
+	x, err := vivu.Expand(p.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lay := isa.NewLayout(p.Prog)
+	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 1024}
+	st := densestState(absint.Analyze(x, lay, cfg, 16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Clone()
+	}
+}
+
+func BenchmarkStateJoin(b *testing.B) {
+	p, _ := malardalen.ByName("statemate")
+	x, err := vivu.Expand(p.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lay := isa.NewLayout(p.Prog)
+	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 1024}
+	res := absint.Analyze(x, lay, cfg, 16)
+	a := densestState(res)
+	c := res.In[x.Entry]
+	for _, st := range res.In {
+		if st != nil && st != a {
+			c = st
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		absint.Join(a, c)
+	}
+}
+
 func BenchmarkWCETStructural(b *testing.B) {
 	p, _ := malardalen.ByName("statemate")
 	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 1024}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux, served only when -pprof is enabled
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,10 +39,26 @@ func main() {
 		maxBody = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 		timeout = flag.Duration("job-timeout", 15*time.Minute, "per-sweep-job deadline")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+		pprofAt = flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// Profiling is off by default: the API handler never touches
+	// http.DefaultServeMux, so the pprof routes are reachable only through
+	// this separate listener, enabled by -pprof or the UCP_PPROF env var.
+	if *pprofAt == "" {
+		*pprofAt = os.Getenv("UCP_PPROF")
+	}
+	if *pprofAt != "" {
+		go func(addr string) {
+			logger.Info("pprof listening", "addr", addr)
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				logger.Error("pprof", "err", err)
+			}
+		}(*pprofAt)
+	}
 	svc := service.New(service.Config{
 		Workers:      *workers,
 		CacheEntries: *entries,

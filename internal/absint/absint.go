@@ -12,6 +12,12 @@
 // is provably hidden (the prefetch is *effective* in the sense of the
 // paper's Definition 10); otherwise the fill only ages the target set in the
 // must state and joins the may state.
+//
+// Besides the from-scratch Analyze, the package offers AnalyzeFrom, an
+// incremental re-analysis seeded from a previous Result (see
+// incremental.go): only the blocks whose transfer function actually changed
+// — and the region reachable from them — are re-solved, which is what makes
+// the optimizer's validate-and-commit loop affordable.
 package absint
 
 import (
@@ -55,29 +61,64 @@ func (c Classification) String() string {
 	}
 }
 
-type entry struct {
-	blk uint64
-	age uint8
-}
+// entry packs a memory block and its age bound into one word: the block
+// number in the upper 56 bits, the age in the low 8. Memory-block numbers
+// are addresses divided by the line size, far below 2^56, and ages are
+// capped at the associativity, far below 2^8. The packing halves the bytes
+// every state copy, join, and comparison moves, and makes entry comparison
+// a single integer compare. Within one cache set a block appears at most
+// once, so ordering entries by their packed value orders them by block.
+type entry uint64
+
+const ageBits = 8
+
+func mkEntry(blk uint64, age uint8) entry { return entry(blk<<ageBits | uint64(age)) }
+
+func (e entry) blk() uint64 { return uint64(e) >> ageBits }
+func (e entry) age() uint8  { return uint8(e) }
 
 // setState is the abstract state of a single cache set: blocks paired with
 // age bounds (upper bounds in must states, lower bounds in may states),
 // sorted by block for canonical comparison.
 type setState []entry
 
+// smallSetScan is the length up to which find and insert use a linear scan
+// instead of a binary search. Every Table 2 configuration has assoc ≤ 4, so
+// must and may sets never exceed four entries and always take the scan path;
+// only persistence sets (which track every block ever seen) can grow past
+// it.
+const smallSetScan = 8
+
 func (s setState) find(blk uint64) int {
-	i := sort.Search(len(s), func(i int) bool { return s[i].blk >= blk })
-	if i < len(s) && s[i].blk == blk {
+	if len(s) <= smallSetScan {
+		for i := range s {
+			if b := s[i].blk(); b == blk {
+				return i
+			} else if b > blk {
+				return -1
+			}
+		}
+		return -1
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].blk() >= blk })
+	if i < len(s) && s[i].blk() == blk {
 		return i
 	}
 	return -1
 }
 
 func (s setState) insert(blk uint64, age uint8) setState {
-	i := sort.Search(len(s), func(i int) bool { return s[i].blk >= blk })
-	s = append(s, entry{})
+	var i int
+	if len(s) <= smallSetScan {
+		for i < len(s) && s[i].blk() < blk {
+			i++
+		}
+	} else {
+		i = sort.Search(len(s), func(i int) bool { return s[i].blk() >= blk })
+	}
+	s = append(s, 0)
 	copy(s[i+1:], s[i:])
-	s[i] = entry{blk, age}
+	s[i] = mkEntry(blk, age)
 	return s
 }
 
@@ -95,6 +136,20 @@ func (s setState) equal(o setState) bool {
 	return true
 }
 
+// fnv-1a over the entries; used for the State hash and set interning.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func (s setState) hash() uint64 {
+	h := uint64(fnvOffset)
+	for _, e := range s {
+		h = (h ^ uint64(e)) * fnvPrime
+	}
+	return h
+}
+
 // State is an abstract cache state: a must, a may, and a persistence
 // component per set. The persistence component tracks, for every block ever
 // loaded, an upper bound on its maximal LRU age since that load; a block
@@ -105,52 +160,117 @@ type State struct {
 	must []setState
 	may  []setState
 	pers []setState
+	// nMust/nMay/nPers cache the total entry count per component so Equal
+	// rejects differing states in O(1) — the dominant outcome inside the
+	// fixpoint.
+	nMust, nMay, nPers int32
+	// hash caches the structural hash; valid only while hashOK. Mutators
+	// clear it, interning (see incremental.go) sets it, and Equal uses a
+	// mismatch of two valid hashes as a second O(1) early exit.
+	hash   uint64
+	hashOK bool
+	// buf is the backing array the per-set slices are carved from; pooled
+	// states reuse it across fixpoint rounds instead of reallocating.
+	buf []entry
 }
 
 // NewState returns the abstract state of an empty cache: nothing is
 // guaranteed resident (must = ∅) and nothing may be resident (may = ∅), the
 // cold-start state ĉ_I.
 func NewState(cfg cache.Config) *State {
+	n := cfg.NumSets()
+	// One header array backs all three components, so a fresh state costs
+	// two allocations instead of four.
+	h := make([]setState, 3*n)
 	return &State{
 		cfg:  cfg,
-		must: make([]setState, cfg.NumSets()),
-		may:  make([]setState, cfg.NumSets()),
-		pers: make([]setState, cfg.NumSets()),
+		must: h[0:n:n],
+		may:  h[n : 2*n : 2*n],
+		pers: h[2*n:],
 	}
 }
 
-// Clone deep-copies the state. All per-set slices are carved out of one
-// backing array (with two spare slots per set, so the following transfer's
-// insertions rarely reallocate); this keeps the fixpoint from drowning in
-// small allocations.
-func (s *State) Clone() *State {
-	const headroom = 2
-	n := len(s.must)
+// cloneHeadroom is the spare capacity carved per set so the following
+// transfer's insertions rarely reallocate.
+const cloneHeadroom = 2
+
+// copyFrom makes s an exact copy of src, reusing s's backing buffer when it
+// is large enough. s and src must share a configuration.
+func (s *State) copyFrom(src *State) {
+	n := len(src.must)
 	total := 0
 	for i := 0; i < n; i++ {
-		total += len(s.must[i]) + len(s.may[i]) + len(s.pers[i]) + 3*headroom
+		total += len(src.must[i]) + len(src.may[i]) + len(src.pers[i]) + 3*cloneHeadroom
 	}
-	buf := make([]entry, total)
-	c := &State{cfg: s.cfg, must: make([]setState, n), may: make([]setState, n), pers: make([]setState, n)}
+	if cap(s.buf) < total {
+		s.buf = make([]entry, total)
+	}
+	buf := s.buf[:cap(s.buf)]
 	off := 0
-	carve := func(src setState) setState {
-		l := len(src)
-		dst := buf[off : off+l : off+l+headroom]
-		copy(dst, src)
-		off += l + headroom
+	carve := func(from setState) setState {
+		l := len(from)
+		dst := buf[off : off+l : off+l+cloneHeadroom]
+		copy(dst, from)
+		off += l + cloneHeadroom
 		return dst
 	}
 	for i := 0; i < n; i++ {
-		c.must[i] = carve(s.must[i])
-		c.may[i] = carve(s.may[i])
-		c.pers[i] = carve(s.pers[i])
+		s.must[i] = carve(src.must[i])
+		s.may[i] = carve(src.may[i])
+		s.pers[i] = carve(src.pers[i])
 	}
+	s.nMust, s.nMay, s.nPers = src.nMust, src.nMay, src.nPers
+	s.hash, s.hashOK = src.hash, src.hashOK
+}
+
+// copyCompact makes s an exact-size copy of src, with no growth headroom:
+// the copy for states that are retained but never mutated again (the
+// recorded in-states of a result).
+func (s *State) copyCompact(src *State) {
+	n := len(src.must)
+	total := int(src.nMust + src.nMay + src.nPers)
+	if cap(s.buf) < total {
+		s.buf = make([]entry, total)
+	}
+	buf := s.buf[:cap(s.buf)]
+	off := 0
+	carve := func(from setState) setState {
+		l := len(from)
+		dst := buf[off : off+l : off+l]
+		copy(dst, from)
+		off += l
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		s.must[i] = carve(src.must[i])
+		s.may[i] = carve(src.may[i])
+		s.pers[i] = carve(src.pers[i])
+	}
+	s.nMust, s.nMay, s.nPers = src.nMust, src.nMay, src.nPers
+	s.hash, s.hashOK = src.hash, src.hashOK
+}
+
+// Clone deep-copies the state. All per-set slices are carved out of one
+// backing array (with spare slots per set, so the following transfer's
+// insertions rarely reallocate); this keeps the fixpoint from drowning in
+// small allocations.
+func (s *State) Clone() *State {
+	c := NewState(s.cfg)
+	c.copyFrom(s)
 	return c
 }
 
-// Equal reports whether two states are identical.
+// Equal reports whether two states are identical. The cached entry counts
+// and (when both are valid) the cached hashes reject unequal states without
+// walking the sets.
 func (s *State) Equal(o *State) bool {
-	if s.cfg != o.cfg {
+	if s == o {
+		return true
+	}
+	if s.cfg != o.cfg || s.nMust != o.nMust || s.nMay != o.nMay || s.nPers != o.nPers {
+		return false
+	}
+	if s.hashOK && o.hashOK && s.hash != o.hash {
 		return false
 	}
 	for i := range s.must {
@@ -171,6 +291,10 @@ func (s *State) Equal(o *State) bool {
 	return true
 }
 
+// Entries returns the total number of tracked entries across the must, may,
+// and persistence components (a size measure for benchmarks and diagnostics).
+func (s *State) Entries() int { return int(s.nMust + s.nMay + s.nPers) }
+
 // MustContains reports whether blk is guaranteed resident.
 func (s *State) MustContains(blk uint64) bool {
 	return s.must[s.cfg.SetOf(blk)].find(blk) >= 0
@@ -187,7 +311,7 @@ func (s *State) MayContains(blk uint64) bool {
 func (s *State) Persistent(blk uint64) bool {
 	set := s.pers[s.cfg.SetOf(blk)]
 	if i := set.find(blk); i >= 0 {
-		return set[i].age < uint8(s.cfg.Assoc)
+		return set[i].age() < uint8(s.cfg.Assoc)
 	}
 	// Never loaded on any path reaching here: the access itself will be
 	// the (single) first load.
@@ -210,9 +334,14 @@ func (s *State) Classify(blk uint64) Classification {
 func (s *State) Access(blk uint64) {
 	si := s.cfg.SetOf(blk)
 	a := uint8(s.cfg.Assoc)
+	m0, y0, p0 := len(s.must[si]), len(s.may[si]), len(s.pers[si])
 	s.must[si] = mustUpdate(s.must[si], blk, a)
 	s.may[si] = mayUpdate(s.may[si], blk, a)
 	s.pers[si] = persUpdate(s.pers[si], blk, a)
+	s.nMust += int32(len(s.must[si]) - m0)
+	s.nMay += int32(len(s.may[si]) - y0)
+	s.nPers += int32(len(s.pers[si]) - p0)
+	s.hashOK = false
 }
 
 // PrefetchFill applies the abstract effect of a prefetch fill of blk.
@@ -228,6 +357,7 @@ func (s *State) Access(blk uint64) {
 func (s *State) PrefetchFill(blk uint64, effective bool) {
 	si := s.cfg.SetOf(blk)
 	a := uint8(s.cfg.Assoc)
+	m0, y0, p0 := len(s.must[si]), len(s.may[si]), len(s.pers[si])
 	if effective {
 		s.must[si] = mustUpdate(s.must[si], blk, a)
 	} else {
@@ -242,6 +372,10 @@ func (s *State) PrefetchFill(blk uint64, effective bool) {
 	} else {
 		s.pers[si] = persAgeAll(s.pers[si], a)
 	}
+	s.nMust += int32(len(s.must[si]) - m0)
+	s.nMay += int32(len(s.may[si]) - y0)
+	s.nPers += int32(len(s.pers[si]) - p0)
+	s.hashOK = false
 }
 
 // mustUpdate is the must-analysis LRU update: the accessed block gets age 0;
@@ -251,15 +385,15 @@ func (s *State) PrefetchFill(blk uint64, effective bool) {
 func mustUpdate(s setState, m uint64, assoc uint8) setState {
 	prev := assoc // treat "not guaranteed" as the oldest possible age
 	if i := s.find(m); i >= 0 {
-		prev = s[i].age
+		prev = s[i].age()
 		s = s.remove(i)
 	}
 	w := 0
 	for _, e := range s {
-		if e.age < prev {
-			e.age++
+		if e.age() < prev {
+			e++ // ages live in the low bits, so +1 ages the entry
 		}
-		if e.age < assoc {
+		if e.age() < assoc {
 			s[w] = e
 			w++
 		}
@@ -272,8 +406,8 @@ func mustUpdate(s setState, m uint64, assoc uint8) setState {
 func mustAgeAll(s setState, assoc uint8) setState {
 	w := 0
 	for _, e := range s {
-		e.age++
-		if e.age < assoc {
+		e++
+		if e.age() < assoc {
 			s[w] = e
 			w++
 		}
@@ -285,7 +419,7 @@ func mustAgeAll(s setState, assoc uint8) setState {
 // the may effect of an event that may or may not have happened yet.
 func mayInsertFresh(s setState, blk uint64) setState {
 	if i := s.find(blk); i >= 0 {
-		s[i].age = 0
+		s[i] = mkEntry(blk, 0)
 		return s
 	}
 	return s.insert(blk, 0)
@@ -298,12 +432,12 @@ func mayInsertFresh(s setState, blk uint64) setState {
 func persUpdate(s setState, m uint64, assoc uint8) setState {
 	prev := assoc
 	if i := s.find(m); i >= 0 {
-		prev = s[i].age
+		prev = s[i].age()
 		s = s.remove(i)
 	}
 	for i := range s {
-		if s[i].age < prev && s[i].age < assoc {
-			s[i].age++
+		if a := s[i].age(); a < prev && a < assoc {
+			s[i]++
 		}
 	}
 	return s.insert(m, 0)
@@ -312,37 +446,38 @@ func persUpdate(s setState, m uint64, assoc uint8) setState {
 // persAgeAll ages every tracked bound (a fill at an unknown time).
 func persAgeAll(s setState, assoc uint8) setState {
 	for i := range s {
-		if s[i].age < assoc {
-			s[i].age++
+		if s[i].age() < assoc {
+			s[i]++
 		}
 	}
 	return s
 }
 
-// joinPers merges persistence states: union with maximal age bounds.
-func joinPers(a, b setState) setState {
-	out := make(setState, 0, len(a)+len(b))
+// joinPersInto merges persistence states (union with maximal age bounds)
+// by appending to dst, which the caller sizes to len(a)+len(b).
+func joinPersInto(dst, a, b setState) setState {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
-		switch {
-		case a[i].blk < b[j].blk:
-			out = append(out, a[i])
+		switch ba, bb := a[i].blk(), b[j].blk(); {
+		case ba < bb:
+			dst = append(dst, a[i])
 			i++
-		case a[i].blk > b[j].blk:
-			out = append(out, b[j])
+		case ba > bb:
+			dst = append(dst, b[j])
 			j++
 		default:
-			age := a[i].age
-			if b[j].age > age {
-				age = b[j].age
+			// Equal blocks: the larger packed value carries the larger age.
+			e := a[i]
+			if b[j] > e {
+				e = b[j]
 			}
-			out = append(out, entry{a[i].blk, age})
+			dst = append(dst, e)
 			i, j = i+1, j+1
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
 }
 
 // mayUpdate is the may-analysis LRU update: the accessed block gets age 0;
@@ -351,15 +486,15 @@ func joinPers(a, b setState) setState {
 func mayUpdate(s setState, m uint64, assoc uint8) setState {
 	prev := assoc
 	if i := s.find(m); i >= 0 {
-		prev = s[i].age
+		prev = s[i].age()
 		s = s.remove(i)
 	}
 	w := 0
 	for _, e := range s {
-		if e.age <= prev {
-			e.age++
+		if e.age() <= prev {
+			e++
 		}
-		if e.age < assoc {
+		if e.age() < assoc {
 			s[w] = e
 			w++
 		}
@@ -367,61 +502,91 @@ func mayUpdate(s setState, m uint64, assoc uint8) setState {
 	return s[:w].insert(m, 0)
 }
 
-// Join merges two abstract states flowing into a common program point: the
-// must component intersects (keeping maximal ages) and the may component
-// unites (keeping minimal ages) — the classical join functions of [8].
+// joinInto sets s to the join of a and b (which must not be s), reusing s's
+// backing buffer: the must component intersects (keeping maximal ages) and
+// the may component unites (keeping minimal ages) — the classical join
+// functions of [8] — without allocating per set.
+func (s *State) joinInto(a, b *State) {
+	n := len(a.must)
+	total := 0
+	for i := 0; i < n; i++ {
+		total += min(len(a.must[i]), len(b.must[i])) +
+			len(a.may[i]) + len(b.may[i]) +
+			len(a.pers[i]) + len(b.pers[i])
+	}
+	if cap(s.buf) < total {
+		s.buf = make([]entry, total)
+	}
+	buf := s.buf[:cap(s.buf)]
+	off := 0
+	var nm, ny, np int32
+	for i := 0; i < n; i++ {
+		bound := min(len(a.must[i]), len(b.must[i]))
+		dst := joinMustInto(buf[off:off:off+bound], a.must[i], b.must[i])
+		s.must[i] = dst
+		nm += int32(len(dst))
+		off += bound
+
+		bound = len(a.may[i]) + len(b.may[i])
+		dst = joinMayInto(buf[off:off:off+bound], a.may[i], b.may[i])
+		s.may[i] = dst
+		ny += int32(len(dst))
+		off += bound
+
+		bound = len(a.pers[i]) + len(b.pers[i])
+		dst = joinPersInto(buf[off:off:off+bound], a.pers[i], b.pers[i])
+		s.pers[i] = dst
+		np += int32(len(dst))
+		off += bound
+	}
+	s.nMust, s.nMay, s.nPers = nm, ny, np
+	s.hashOK = false
+}
+
+// Join merges two abstract states flowing into a common program point.
 func Join(a, b *State) *State {
-	out := &State{
-		cfg:  a.cfg,
-		must: make([]setState, len(a.must)),
-		may:  make([]setState, len(a.may)),
-		pers: make([]setState, len(a.pers)),
-	}
-	for i := range a.must {
-		out.must[i] = joinMust(a.must[i], b.must[i])
-		out.may[i] = joinMay(a.may[i], b.may[i])
-		out.pers[i] = joinPers(a.pers[i], b.pers[i])
-	}
+	out := NewState(a.cfg)
+	out.joinInto(a, b)
 	return out
 }
 
-func joinMust(a, b setState) setState {
-	var out setState
+func joinMustInto(dst, a, b setState) setState {
 	for _, ea := range a {
-		if j := b.find(ea.blk); j >= 0 {
-			age := ea.age
-			if b[j].age > age {
-				age = b[j].age
+		if j := b.find(ea.blk()); j >= 0 {
+			// Equal blocks: the larger packed value carries the larger age.
+			e := ea
+			if b[j] > e {
+				e = b[j]
 			}
-			out = append(out, entry{ea.blk, age})
+			dst = append(dst, e)
 		}
 	}
-	return out
+	return dst
 }
 
-func joinMay(a, b setState) setState {
-	out := make(setState, 0, len(a)+len(b))
+func joinMayInto(dst, a, b setState) setState {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
-		switch {
-		case a[i].blk < b[j].blk:
-			out = append(out, a[i])
+		switch ba, bb := a[i].blk(), b[j].blk(); {
+		case ba < bb:
+			dst = append(dst, a[i])
 			i++
-		case a[i].blk > b[j].blk:
-			out = append(out, b[j])
+		case ba > bb:
+			dst = append(dst, b[j])
 			j++
 		default:
-			age := a[i].age
-			if b[j].age < age {
-				age = b[j].age
+			// Equal blocks: the smaller packed value carries the smaller age.
+			e := a[i]
+			if b[j] < e {
+				e = b[j]
 			}
-			out = append(out, entry{a[i].blk, age})
+			dst = append(dst, e)
 			i, j = i+1, j+1
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
 }
 
 // Result holds the outcome of the fixpoint: the in-state of every expanded
@@ -439,206 +604,247 @@ type Result struct {
 	// target block (Definition 10, checked with the conservative
 	// one-cycle-per-instruction lower bound).
 	Effective [][]bool
+	// Changed[xb] reports whether block xb's transfer row or in-state value
+	// differs from the previous result's, i.e. whether anything derived
+	// from the block could differ. It is nil after a full analysis (every
+	// block counts as changed) and set by AnalyzeFrom, so downstream
+	// consumers (the WCET assembly) can reuse per-block derivatives of
+	// unchanged blocks.
+	Changed []bool
+
+	lambda int
+	// ops[xb] is the transfer-function encoding of expanded block xb; the
+	// incremental path diffs it against the previous result to find the
+	// dirty region. Rows of unchanged blocks alias the previous result's.
+	ops [][]opRec
+	// out[xb] is the abstract state at the exit of xb (nil = bottom, the
+	// block was never reached); it seeds incremental re-analysis.
+	out []*State
+	// sccs is the fixpoint iteration plan; it depends only on the graph
+	// structure and is shared across incremental re-analyses.
+	sccs *sccPlan
+	// scr carries the reusable analysis buffers along the chain of
+	// incremental re-analyses seeded from this result.
+	scr *scratch
+	// interns is the hash-consing table canonical set states live in. It is
+	// populated lazily by Intern — interning every converged state would
+	// burden the analysis hot path, so only results a caller retains
+	// long-term (e.g. a result cache) pay for the deduplication.
+	interns *internTable
+}
+
+// opRec is one instruction of a transfer function: the memory block the
+// fetch accesses and, for prefetches, the target block and effectiveness.
+// Two blocks with equal opRec rows have identical transfer functions and
+// identical classification behavior for equal in-states.
+type opRec struct {
+	acc uint64
+	tgt uint64
+	pft bool
+	eff bool
 }
 
 type analyzer struct {
 	x   *vivu.Prog
-	lay *isa.Layout
 	cfg cache.Config
 	res *Result
-	// blkOf[xb][i] is the memory block fetched by the i-th instruction of
-	// expanded block xb.
-	blkOf [][]uint64
+	ops [][]opRec
+	sp  *statePool
+
+	// Fixpoint slots. out[id] is the current exit state of block id (nil =
+	// bottom); ownOut marks states created by this call (recyclable through
+	// the pool — states seeded from a previous Result are shared and must
+	// never be recycled). outChanged records, for the incremental path,
+	// whether a block's exit state ended up different from the previous
+	// solution's.
+	out        []*State
+	ownOut     []bool
+	dirty      []bool
+	outChanged []bool
+	// scrA/scrB ping-pong through multi-predecessor joins; empty is the
+	// cold-cache entry state.
+	scrA, scrB, empty *State
 }
 
 // Analyze runs the must/may fixpoint for the expanded program x laid out by
 // lay on cache configuration cfg, with a prefetch latency of lambda cycles.
 func Analyze(x *vivu.Prog, lay *isa.Layout, cfg cache.Config, lambda int) *Result {
-	n := len(x.Blocks)
-	res := &Result{
-		X:         x,
-		Cfg:       cfg,
-		In:        make([]*State, n),
-		Class:     make([][]Classification, n),
-		Effective: make([][]bool, n),
-	}
-	a := &analyzer{x: x, lay: lay, cfg: cfg, res: res, blkOf: make([][]uint64, n)}
-	for _, xb := range x.Blocks {
-		instrs := x.Prog.Blocks[xb.Orig].Instrs
-		res.Class[xb.ID] = make([]Classification, len(instrs))
-		res.Effective[xb.ID] = make([]bool, len(instrs))
-		row := make([]uint64, len(instrs))
-		for i := range instrs {
-			row[i] = lay.MemBlock(isa.InstrRef{Block: xb.Orig, Index: i}, cfg.BlockBytes)
-		}
-		a.blkOf[xb.ID] = row
-	}
-
-	// Precompute prefetch effectiveness (latency hiding) per expanded
-	// prefetch instance; it feeds the must-component of every transfer.
-	for _, xb := range x.Blocks {
-		instrs := x.Prog.Blocks[xb.Orig].Instrs
-		for i, in := range instrs {
-			if in.Kind == isa.KindPrefetch {
-				tgt := lay.MemBlock(in.Target, cfg.BlockBytes)
-				res.Effective[xb.ID][i] = latencyHidden(x, lay, cfg, vivu.Ref{XB: xb.ID, Index: i}, tgt, lambda)
-			}
-		}
-	}
-
-	// Fixpoint over the expanded graph (back edges included), iterating in
-	// topological order of the acyclic skeleton with cached out-states and
-	// dirty tracking. Ages are bounded by the associativity, so the chain
-	// height is small and the loop converges in a few rounds.
-	in := make([]*State, n)
-	out := make([]*State, n)
-	dirty := make([]bool, n)
-	for id := range dirty {
-		dirty[id] = true
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, id := range x.Topo {
-			if !dirty[id] {
-				continue
-			}
-			dirty[id] = false
-			xb := x.Blocks[id]
-			var st *State
-			if id == x.Entry {
-				st = NewState(cfg)
-			} else {
-				for _, p := range xb.Preds {
-					if out[p] == nil {
-						continue
-					}
-					if st == nil {
-						st = out[p]
-					} else {
-						st = Join(st, out[p])
-					}
-				}
-				if st == nil {
-					// No predecessor state yet: the first predecessor to
-					// produce one re-marks this block dirty.
-					continue
-				}
-			}
-			if in[id] != nil && in[id].Equal(st) {
-				continue
-			}
-			in[id] = st
-			newOut := a.transfer(st, id)
-			if out[id] == nil || !out[id].Equal(newOut) {
-				out[id] = newOut
-				for _, e := range xb.Succs {
-					dirty[e.To] = true
-				}
-				changed = true
-			}
-		}
-	}
-	for id := range in {
-		if in[id] == nil {
-			in[id] = NewState(cfg) // only the entry has no predecessors
-		}
-	}
-
-	// One final pass to record in-states and per-reference classification.
-	for _, id := range x.Topo {
-		xb := x.Blocks[id]
-		res.In[id] = in[id]
-		st := in[id].Clone()
-		instrs := x.Prog.Blocks[xb.Orig].Instrs
-		inRest := len(xb.Ctx) > 0 && xb.Ctx[len(xb.Ctx)-1] == 'R'
-		for i, ins := range instrs {
-			blk := a.blkOf[id][i]
-			cl := st.Classify(blk)
-			// Persistence upgrade (first-miss classification): a
-			// not-classified reference in an other-iterations context whose
-			// block can never have been evicted since its load pays its one
-			// miss in the first-iteration context; here it is a hit.
-			if cl == NotClassified && inRest && st.Persistent(blk) {
-				cl = FirstMiss
-			}
-			res.Class[id][i] = cl
-			st.Access(blk)
-			if ins.Kind == isa.KindPrefetch {
-				tgt := lay.MemBlock(ins.Target, cfg.BlockBytes)
-				st.PrefetchFill(tgt, res.Effective[id][i])
-			}
-		}
-	}
-	return res
+	return analyze(x, lay, cfg, lambda, nil)
 }
 
-// transfer pushes the in-state of expanded block p through its instruction
-// sequence, applying the precise (effectiveness-aware) prefetch fill.
-func (a *analyzer) transfer(st *State, p int) *State {
-	xb := a.x.Blocks[p]
-	out := st.Clone()
-	instrs := a.x.Prog.Blocks[xb.Orig].Instrs
-	for i, ins := range instrs {
-		out.Access(a.blkOf[p][i])
-		if ins.Kind == isa.KindPrefetch {
-			tgt := a.lay.MemBlock(ins.Target, a.cfg.BlockBytes)
-			out.PrefetchFill(tgt, a.res.Effective[p][i])
+// transferInto pushes src through the instruction sequence of expanded block
+// p into dst, applying the precise (effectiveness-aware) prefetch fill.
+func (a *analyzer) transferInto(dst, src *State, p int) {
+	dst.copyFrom(src)
+	for _, op := range a.ops[p] {
+		dst.Access(op.acc)
+		if op.pft {
+			dst.PrefetchFill(op.tgt, op.eff)
 		}
 	}
-	return out
 }
 
-// latencyHidden reports whether at least lambda instruction fetches separate
-// the prefetch at r from every first use of memory block tgt reachable from
-// it, on every path of the expanded graph. Each fetch takes at least one
-// cycle, so lambda intervening fetches guarantee the fill has completed.
-func latencyHidden(x *vivu.Prog, lay *isa.Layout, cfg cache.Config, r vivu.Ref, tgt uint64, lambda int) bool {
-	type node struct {
-		xb, idx int
+// joinPreds returns the join of the predecessors' exit states of block id —
+// the in-state the transfer function is applied to. The returned state may
+// alias a predecessor's out slot (single live predecessor) or one of the
+// scratch states; it is only valid until the next joinPreds call. nil means
+// bottom: no predecessor has produced a state yet.
+func (a *analyzer) joinPreds(id int) *State {
+	if id == a.x.Entry {
+		return a.empty
 	}
-	// Breadth-first exploration counting fetched instructions after the
-	// prefetch; stop a branch when its count reaches lambda.
-	start := node{r.XB, r.Index}
-	type qent struct {
-		n    node
-		dist int
-	}
-	seen := map[node]int{start: 0}
-	queue := []qent{{start, 0}}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		// Successor references of cur.
-		xb := x.Blocks[cur.n.xb]
-		instrs := x.Prog.Blocks[xb.Orig].Instrs
-		var succs []node
-		if cur.n.idx+1 < len(instrs) {
-			succs = []node{{cur.n.xb, cur.n.idx + 1}}
+	var st *State
+	scr := a.scrA
+	for _, p := range a.x.Blocks[id].Preds {
+		o := a.out[p]
+		if o == nil {
+			continue
+		}
+		if st == nil {
+			st = o
+			continue
+		}
+		scr.joinInto(st, o)
+		st = scr
+		if scr == a.scrA {
+			scr = a.scrB
 		} else {
-			for _, e := range xb.Succs {
-				succs = append(succs, node{e.To, 0})
-			}
+			scr = a.scrA
 		}
-		for _, s := range succs {
-			d := cur.dist + 1
-			sb := x.Blocks[s.xb]
-			blk := lay.MemBlock(isa.InstrRef{Block: sb.Orig, Index: s.idx}, cfg.BlockBytes)
-			if blk == tgt {
-				if d-1 < lambda {
-					// Fewer than lambda fetches between the prefetch and
-					// this use: the fill may still be in flight.
-					return false
-				}
-				continue // this use is covered; don't explore past it
-			}
-			if d >= lambda {
-				continue // any later use is safely beyond the latency
-			}
-			if old, ok := seen[s]; !ok || d < old {
-				seen[s] = d
-				queue = append(queue, qent{s, d})
-			}
-		}
+	}
+	return st
+}
+
+// processBlock recomputes one block's equation: join the predecessors,
+// apply the transfer function, and publish the new exit state when it
+// differs (marking the successors dirty). Reports whether the exit state
+// changed. When the recomputed state equals the current one the tentative
+// state is recycled and nothing propagates — this is the value cutoff that
+// keeps incremental re-analysis local.
+func (a *analyzer) processBlock(id int) bool {
+	a.dirty[id] = false
+	st := a.joinPreds(id)
+	if st == nil {
+		// No predecessor state yet: the first predecessor to produce one
+		// re-marks this block dirty.
+		return false
+	}
+	tmp := a.sp.get()
+	a.transferInto(tmp, st, id)
+	if a.out[id] != nil && a.out[id].Equal(tmp) {
+		a.sp.put(tmp)
+		return false
+	}
+	if a.ownOut[id] {
+		a.sp.put(a.out[id])
+	}
+	a.out[id] = tmp
+	a.ownOut[id] = true
+	for _, e := range a.x.Blocks[id].Succs {
+		a.dirty[e.To] = true
 	}
 	return true
+}
+
+// solve runs the fixpoint over the strongly-connected components of the
+// expanded graph in condensation topological order. When a component is
+// reached, every predecessor outside it already holds its final (least
+// fixpoint) value, so:
+//
+//   - an acyclic (singleton, no self edge) component is solved by a single
+//     transfer — and if the result equals the seeded previous value, nothing
+//     propagates;
+//   - a cyclic component with a dirty member restarts from bottom as a
+//     whole and iterates to convergence, which is the least fixpoint of the
+//     subsystem under its (final) external inputs; members whose converged
+//     state equals the previous solution get their previous state pointer
+//     restored, so sharing across chained results is preserved.
+//
+// Components with no dirty member are skipped entirely: their equations and
+// inputs are unchanged, so the seeded previous values are already final.
+func (a *analyzer) solve(plan *sccPlan) {
+	var stash []*State
+	for ci, comp := range plan.comps {
+		if !plan.cyclic[ci] {
+			id := comp[0]
+			if a.dirty[id] && a.processBlock(id) {
+				a.outChanged[id] = true
+			}
+			continue
+		}
+		hasDirty := false
+		for _, id := range comp {
+			if a.dirty[id] {
+				hasDirty = true
+				break
+			}
+		}
+		if !hasDirty {
+			continue
+		}
+		// Restart the whole component from bottom. Continuing from seeded
+		// (previous-solution) states would not be monotone from below and
+		// could overshoot the least fixpoint.
+		stash = stash[:0]
+		for _, id := range comp {
+			stash = append(stash, a.out[id])
+			a.out[id] = nil
+			a.ownOut[id] = false // seeds are shared; new states re-mark themselves
+			a.dirty[id] = true
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, id := range comp {
+				if a.dirty[id] && a.processBlock(id) {
+					changed = true
+				}
+			}
+		}
+		for k, id := range comp {
+			prev := stash[k]
+			switch {
+			case prev == nil:
+				a.outChanged[id] = a.out[id] != nil
+			case a.out[id] != nil && a.out[id].Equal(prev):
+				// Same value: restore the previous pointer and recycle the
+				// recomputed state (downstream consumers keep sharing).
+				if a.ownOut[id] {
+					a.sp.put(a.out[id])
+				}
+				a.out[id] = prev
+				a.ownOut[id] = false
+			default:
+				a.outChanged[id] = true
+			}
+		}
+	}
+}
+
+// classify records the in-state and the per-reference classification of
+// expanded block id into the result.
+func (a *analyzer) classify(id int, in *State, walk *State) {
+	x := a.x
+	xb := x.Blocks[id]
+	res := a.res
+	res.In[id] = in
+	walk.copyFrom(in)
+	row := a.ops[id]
+	cls := make([]Classification, len(row))
+	inRest := len(xb.Ctx) > 0 && xb.Ctx[len(xb.Ctx)-1] == 'R'
+	for i, op := range row {
+		cl := walk.Classify(op.acc)
+		// Persistence upgrade (first-miss classification): a
+		// not-classified reference in an other-iterations context whose
+		// block can never have been evicted since its load pays its one
+		// miss in the first-iteration context; here it is a hit.
+		if cl == NotClassified && inRest && walk.Persistent(op.acc) {
+			cl = FirstMiss
+		}
+		cls[i] = cl
+		walk.Access(op.acc)
+		if op.pft {
+			walk.PrefetchFill(op.tgt, op.eff)
+		}
+	}
+	res.Class[id] = cls
 }

@@ -24,15 +24,15 @@ func TestMustUpdateAges(t *testing.T) {
 	s = mustUpdate(s, 10, 2)
 	s = mustUpdate(s, 20, 2)
 	// 20 is MRU (age 0), 10 aged to 1.
-	if i := s.find(20); i < 0 || s[i].age != 0 {
+	if i := s.find(20); i < 0 || s[i].age() != 0 {
 		t.Fatalf("state = %v", s)
 	}
-	if i := s.find(10); i < 0 || s[i].age != 1 {
+	if i := s.find(10); i < 0 || s[i].age() != 1 {
 		t.Fatalf("state = %v", s)
 	}
 	// Re-access 10: both present, ages swap.
 	s = mustUpdate(s, 10, 2)
-	if i := s.find(20); i < 0 || s[i].age != 1 {
+	if i := s.find(20); i < 0 || s[i].age() != 1 {
 		t.Fatalf("state = %v", s)
 	}
 	// A third block evicts the oldest from the must state.
@@ -49,10 +49,10 @@ func TestMustUpdateDoesNotAgeOlderBlocks(t *testing.T) {
 	s = mustUpdate(s, 2, 4) // 2:0 1:1
 	s = mustUpdate(s, 3, 4) // 3:0 2:1 1:2
 	s = mustUpdate(s, 2, 4) // re-access 2 (age 1): only younger (3) ages
-	if i := s.find(1); s[i].age != 2 {
+	if i := s.find(1); s[i].age() != 2 {
 		t.Fatalf("block 1 aged on re-access of a younger block: %v", s)
 	}
-	if i := s.find(3); s[i].age != 1 {
+	if i := s.find(3); s[i].age() != 1 {
 		t.Fatalf("block 3 should age to 1: %v", s)
 	}
 }
@@ -64,7 +64,7 @@ func TestJoinMustIntersectsMaxAge(t *testing.T) {
 	if j.find(1) >= 0 || j.find(3) >= 0 {
 		t.Fatalf("join kept non-common blocks: %v", j)
 	}
-	if i := j.find(2); i < 0 || j[i].age != 1 {
+	if i := j.find(2); i < 0 || j[i].age() != 1 {
 		t.Fatalf("join age = %v", j)
 	}
 }
@@ -76,7 +76,7 @@ func TestJoinMayUnionMinAge(t *testing.T) {
 	if j.find(1) < 0 || j.find(3) < 0 {
 		t.Fatalf("may join must keep the union: %v", j)
 	}
-	if i := j.find(2); j[i].age != 0 {
+	if i := j.find(2); j[i].age() != 0 {
 		t.Fatalf("may join age = %v", j)
 	}
 }

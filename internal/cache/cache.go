@@ -190,6 +190,14 @@ func (s *State) Clone() *State {
 	return c
 }
 
+// CopyFrom makes s an exact copy of o (which must share s's configuration),
+// reusing s's per-set storage so repeated copies do not allocate.
+func (s *State) CopyFrom(o *State) {
+	for i := range s.sets {
+		s.sets[i] = append(s.sets[i][:0], o.sets[i]...)
+	}
+}
+
 // Equal reports whether two states hold the same blocks in the same LRU
 // order for every set.
 func (s *State) Equal(o *State) bool {

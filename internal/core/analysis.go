@@ -27,14 +27,38 @@ import (
 // Algorithm 2. Residual loop back edges are followed (the other-iterations
 // context sees the next iteration's needs), with a bounded fixpoint.
 
+// backward returns the per-block backward exit states for the current
+// analysis result, recomputing them only when o.res changed since the last
+// computation. Keying the cache on the result pointer makes invalidation
+// exact: refresh() swaps the pointer (stale states can never be read), and
+// a rollback that restores the previous result revives its still-valid
+// states for free.
+func (o *optimizer) backward() []*cache.State {
+	if o.bwRes != o.res {
+		o.bwOut = o.backwardOut()
+		o.bwRes = o.res
+	}
+	return o.bwOut
+}
+
 // backwardOut computes, for every expanded block, the backward cache state
 // at the block's *exit* (i.e. the state describing the references executed
-// after the block on the WCET path).
+// after the block on the WCET path). Each block gets dedicated in/out
+// states up front and the rounds copy into them, so one call allocates the
+// states once instead of cloning per block per round. (bwOut must not alias
+// bwIn of the successor: a single-block residual loop is its own WCET
+// successor, and its exit state must be the pre-update value.)
 func (o *optimizer) backwardOut() []*cache.State {
 	res := o.res
 	x := res.X
-	bwIn := make([]*cache.State, len(x.Blocks))
-	bwOut := make([]*cache.State, len(x.Blocks))
+	n := len(x.Blocks)
+	bwIn := make([]*cache.State, n)
+	bwOut := make([]*cache.State, n)
+	valid := make([]bool, n)
+	for id := range bwIn {
+		bwIn[id] = cache.NewState(o.cfg)
+		bwOut[id] = cache.NewState(o.cfg)
+	}
 
 	// Residual back edges make the other-iterations context depend on its
 	// own entry state; a few rounds approximate the cyclic future well
@@ -43,14 +67,14 @@ func (o *optimizer) backwardOut() []*cache.State {
 		for ti := len(x.Topo) - 1; ti >= 0; ti-- {
 			id := x.Topo[ti]
 			succ := o.wcetSuccBlock(id)
-			if succ == -1 || bwIn[succ] == nil {
-				bwOut[id] = cache.NewState(o.cfg)
+			if succ == -1 || !valid[succ] {
+				bwOut[id].Reset()
 			} else {
-				bwOut[id] = bwIn[succ]
+				bwOut[id].CopyFrom(bwIn[succ])
 			}
-			st := bwOut[id].Clone()
-			o.applyBackward(st, id, 0)
-			bwIn[id] = st
+			bwIn[id].CopyFrom(bwOut[id])
+			o.applyBackward(bwIn[id], id, 0)
+			valid[id] = true
 		}
 	}
 	return bwOut
@@ -101,10 +125,7 @@ func (o *optimizer) applyBackward(st *cache.State, id int, stop int) {
 // behind reference r — the state Û_e(ĉ, r_i) is applied to. The per-block
 // exit states are cached per analysis refresh.
 func (o *optimizer) backwardStateBefore(r vivu.Ref) *cache.State {
-	if o.bwOut == nil {
-		o.bwOut = o.backwardOut()
-	}
-	st := o.bwOut[r.XB].Clone()
+	st := o.backward()[r.XB].Clone()
 	o.applyBackward(st, r.XB, r.Index+1)
 	return st
 }
@@ -127,22 +148,25 @@ type pathStep struct {
 // back edge may be traversed once per loop instance — emulating the exit of
 // the other-iterations context towards the code after the loop — after
 // which the already-walked blocks are not re-entered.
+// The returned path aliases the optimizer's reusable buffer and is only
+// valid until the next findNextUse call.
 func (o *optimizer) findNextUse(r vivu.Ref, target uint64) (use vivu.Ref, gap int64, path []pathStep, found bool) {
 	res := o.res
 	x := res.X
-	visits := make(map[int]int)
-	visits[r.XB] = 1
+	o.beginVisits()
+	o.addVisit(r.XB)
 	cur := r
 	gap = 0
 	limit := x.NRefs() + len(x.Blocks)
-	path = append(path, pathStep{ref: r})
+	path = append(o.pathBuf[:0], pathStep{ref: r})
+	defer func() { o.pathBuf = path[:0] }()
 	for steps := 0; steps <= limit; steps++ {
-		next, ok := o.wcetSucc(cur, visits)
+		next, ok := o.wcetSucc(cur)
 		if !ok {
 			return vivu.Ref{}, 0, nil, false
 		}
 		if next.Index == 0 {
-			visits[next.XB]++
+			o.addVisit(next.XB)
 		}
 		if o.memBlockOf(next) == target {
 			// Backfill the remaining time after every path position.
@@ -160,6 +184,37 @@ func (o *optimizer) findNextUse(r vivu.Ref, target uint64) (use vivu.Ref, gap in
 		cur = next
 	}
 	return vivu.Ref{}, 0, nil, false
+}
+
+// beginVisits starts a fresh visit-counting epoch; counters from earlier
+// epochs read as zero without being cleared.
+func (o *optimizer) beginVisits() {
+	if o.visitCnt == nil {
+		o.visitCnt = make([]int32, len(o.x.Blocks))
+		o.visitGen = make([]uint32, len(o.x.Blocks))
+	}
+	o.visitEpoch++
+	if o.visitEpoch == 0 { // wraparound: stale stamps could read as current
+		for i := range o.visitGen {
+			o.visitGen[i] = 0
+		}
+		o.visitEpoch = 1
+	}
+}
+
+func (o *optimizer) visitsOf(id int) int32 {
+	if o.visitGen[id] != o.visitEpoch {
+		return 0
+	}
+	return o.visitCnt[id]
+}
+
+func (o *optimizer) addVisit(id int) {
+	if o.visitGen[id] != o.visitEpoch {
+		o.visitGen[id] = o.visitEpoch
+		o.visitCnt[id] = 0
+	}
+	o.visitCnt[id]++
 }
 
 // slidePlacement picks the best insertion anchor along the walked path: the
@@ -191,9 +246,10 @@ func (o *optimizer) slidePlacement(path []pathStep, use vivu.Ref) vivu.Ref {
 // next instruction of the block, or the entry of the chosen successor
 // block. Successors on the WCET path (n_w > 0) are preferred by descending
 // n_w, then by topological position; a block already visited twice in this
-// walk is never re-entered, which bounds the walk while still letting it
-// leave a residual loop body through its back edge once.
-func (o *optimizer) wcetSucc(cur vivu.Ref, visits map[int]int) (vivu.Ref, bool) {
+// walk (per the current visit epoch) is never re-entered, which bounds the
+// walk while still letting it leave a residual loop body through its back
+// edge once.
+func (o *optimizer) wcetSucc(cur vivu.Ref) (vivu.Ref, bool) {
 	res := o.res
 	x := res.X
 	xb := x.Blocks[cur.XB]
@@ -203,12 +259,12 @@ func (o *optimizer) wcetSucc(cur vivu.Ref, visits map[int]int) (vivu.Ref, bool) 
 	bestN := int64(-1)
 	best := -1
 	for _, e := range xb.Succs {
-		if res.Nw[e.To] <= 0 || visits[e.To] >= 2 {
+		if res.Nw[e.To] <= 0 || o.visitsOf(e.To) >= 2 {
 			continue
 		}
 		// Prefer fresh blocks over revisits so the second arrival at a
 		// residual header immediately takes the exit.
-		n := res.Nw[e.To] - int64(visits[e.To])*(1<<40)
+		n := res.Nw[e.To] - int64(o.visitsOf(e.To))*(1<<40)
 		switch {
 		case n > bestN:
 			bestN, best = n, e.To

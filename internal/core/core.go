@@ -117,6 +117,12 @@ func Optimize(p *isa.Program, cfg cache.Config, opt Options) (*isa.Program, *Rep
 	if err != nil {
 		return nil, nil, err
 	}
+	// The seed result's states stay live for the whole optimization (every
+	// incremental re-validation chains from them, aliasing what did not
+	// change), so hash-consing identical converged states across VIVU
+	// contexts here pays once and shrinks the retained set for the entire
+	// run. The intern table travels down the result chain.
+	res.AI.Intern()
 	rep := &Report{
 		TauBefore:     res.TauW,
 		MissesBefore:  res.Misses,
@@ -203,12 +209,28 @@ type optimizer struct {
 	rep *Report
 	res *wcet.Result
 
-	// bwOut caches the backward cache state at every expanded block's exit
-	// for the current analysis; refresh invalidates it.
+	// bwOut caches the backward cache state at every expanded block's exit,
+	// and bwRes records which analysis result it was computed for. backward()
+	// revalidates the pair against o.res by pointer identity, so a refresh
+	// invalidates it and a rollback (which restores the previous result
+	// pointer) revives it — invalidation is structural, not by convention.
 	bwOut []*cache.State
+	bwRes *wcet.Result
+	// bwScratch is the reusable walking state of collect's reverse sweep.
+	bwScratch *cache.State
 	// topoPos[id] is the position of expanded block id in x.Topo (the
 	// expansion, and hence this order, is stable across insertions).
 	topoPos []int
+
+	// visitCnt/visitGen are the epoch-stamped visit counters of the
+	// WCET-path walks (findNextUse/wcetSucc): bumping visitEpoch resets
+	// every counter in O(1), replacing a per-call map allocation.
+	visitCnt   []int32
+	visitGen   []uint32
+	visitEpoch uint32
+	// pathBuf is findNextUse's reusable path buffer; the returned path
+	// aliases it and is only valid until the next findNextUse call.
+	pathBuf []pathStep
 
 	// rejected memoizes validation failures so later sweeps do not re-pay
 	// the full re-analysis for a candidate already refuted.
@@ -233,9 +255,11 @@ func (o *optimizer) collect() []candidate {
 	order := res.X.Topo
 	seen := map[candidateKey]bool{}
 	var out []candidate
-	if o.bwOut == nil {
-		o.bwOut = o.backwardOut()
+	bw := o.backward()
+	if o.bwScratch == nil {
+		o.bwScratch = cache.NewState(o.cfg)
 	}
+	st := o.bwScratch
 	for ti := len(order) - 1; ti >= 0; ti-- {
 		xbID := order[ti]
 		if !res.OnWCETPath(xbID) {
@@ -243,7 +267,7 @@ func (o *optimizer) collect() []candidate {
 		}
 		xb := res.X.Blocks[xbID]
 		instrs := res.Prog.Blocks[xb.Orig].Instrs
-		st := o.bwOut[xbID].Clone()
+		st.CopyFrom(bw[xbID])
 		for i := len(instrs) - 1; i >= 0; i-- {
 			r := vivu.Ref{XB: xbID, Index: i}
 			if instrs[i].Kind == isa.KindPrefetch && res.AI.Effective[xbID][i] {
@@ -407,7 +431,7 @@ func (o *optimizer) trySubset(cands []candidate) (bool, error) {
 		}
 	}
 
-	prevRes, prevBw := o.res, o.bwOut
+	prevRes := o.res
 	if err := o.refresh(); err != nil {
 		return false, err
 	}
@@ -420,19 +444,33 @@ func (o *optimizer) trySubset(cands []candidate) (bool, error) {
 	for i, b := range prog.Blocks {
 		b.Instrs = snapshot[i]
 	}
-	o.res, o.bwOut = prevRes, prevBw
+	// Restoring the previous result also revives the backward-state cache:
+	// backward() keys it on the result pointer.
+	o.res = prevRes
 	return false, nil
 }
 
-// refresh re-runs the WCET analysis after a program mutation.
+// testRefreshCheck, when set by the differential tests, receives every
+// incrementally refreshed result so it can be compared against a
+// from-scratch analysis of the same program state.
+var testRefreshCheck func(*wcet.Result)
+
+// refresh re-runs the WCET analysis after a program mutation, incrementally
+// seeded from the current result: only the blocks the mutation actually
+// perturbed (plus their forward closure) are re-solved. The backward-state
+// cache needs no explicit reset here — it is keyed on the result pointer
+// (see backward()), so replacing o.res invalidates it exactly once per
+// refresh.
 func (o *optimizer) refresh() error {
-	res, err := wcet.AnalyzeX(o.x, o.cfg, o.opt.Par)
+	res, err := wcet.AnalyzeXFrom(o.x, o.cfg, o.opt.Par, o.res)
 	if err != nil {
 		return err
 	}
+	if testRefreshCheck != nil {
+		testRefreshCheck(res)
+	}
 	o.rep.Validations++
 	o.res = res
-	o.bwOut = nil
 	return nil
 }
 

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"ucp/internal/cache"
+	"ucp/internal/malardalen"
+	"ucp/internal/wcet"
+)
+
+// TestDifferentialRefreshMatchesFull runs the real optimizer — batched
+// commits, bisection on rejection, rollback, pruning — and cross-checks
+// every incremental refresh against a from-scratch analysis of the same
+// program state. This exercises the incremental path under exactly the
+// mutation patterns production sees (batch insert, partial rollback via
+// snapshot restore, prefetch removal during pruning).
+func TestDifferentialRefreshMatchesFull(t *testing.T) {
+	par := wcet.Params{HitCycles: 1, MissPenalty: 10, Lambda: 10}
+	configs := cache.Table2()
+	checks := 0
+	testRefreshCheck = func(inc *wcet.Result) {
+		checks++
+		full, err := wcet.AnalyzeX(inc.X, inc.Cfg, inc.Par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inc.TauW != full.TauW || inc.Misses != full.Misses || inc.Fetches != full.Fetches {
+			t.Fatalf("refresh diverges: τ_w %d/%d misses %d/%d fetches %d/%d",
+				inc.TauW, full.TauW, inc.Misses, full.Misses, inc.Fetches, full.Fetches)
+		}
+		for id := range full.Nw {
+			if inc.Nw[id] != full.Nw[id] || inc.Cost[id] != full.Cost[id] || inc.Extra[id] != full.Extra[id] {
+				t.Fatalf("refresh diverges at block %d (Nw/Cost/Extra)", id)
+			}
+			for i := range full.AI.Class[id] {
+				if inc.AI.Class[id][i] != full.AI.Class[id][i] {
+					t.Fatalf("refresh classification diverges at block %d ref %d", id, i)
+				}
+			}
+		}
+	}
+	defer func() { testRefreshCheck = nil }()
+
+	for _, tc := range []struct {
+		prog string
+		cfg  int
+	}{
+		{"crc", 0},
+		{"fdct", 4},
+		{"statemate", 26},
+	} {
+		bm, ok := malardalen.ByName(tc.prog)
+		if !ok {
+			t.Fatalf("unknown program %s", tc.prog)
+		}
+		_, rep, err := Optimize(bm.Prog, configs[tc.cfg], Options{Par: par, ValidationBudget: 30})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.prog, err)
+		}
+		if rep.Validations == 0 {
+			t.Fatalf("%s: optimizer performed no validations; test is vacuous", tc.prog)
+		}
+	}
+	if checks == 0 {
+		t.Fatal("refresh hook never fired")
+	}
+}

@@ -97,7 +97,7 @@ func (o *optimizer) tryRemoveSubset(refs []isa.InstrRef) (bool, error) {
 		}
 		prog.RemoveInstr(ref)
 	}
-	prevRes, prevBw := o.res, o.bwOut
+	prevRes := o.res
 	if err := o.refresh(); err != nil {
 		return false, err
 	}
@@ -107,6 +107,6 @@ func (o *optimizer) tryRemoveSubset(refs []isa.InstrRef) (bool, error) {
 	for i, b := range prog.Blocks {
 		b.Instrs = snapshot[i]
 	}
-	o.res, o.bwOut = prevRes, prevBw
+	o.res = prevRes // also revives the backward cache (keyed on the pointer)
 	return false, nil
 }

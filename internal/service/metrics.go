@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"ucp/internal/wcet"
 )
 
 // latencyWindow is how many recent analysis latencies the quantile
@@ -102,6 +104,16 @@ func (s *Server) renderMetrics(w io.Writer) error {
 	ew.printf("ucp_analyses_total %d\n", analyses)
 	ew.head("ucp_analysis_failures_total", "counter", "Executed analyses that returned an error.")
 	ew.printf("ucp_analysis_failures_total %d\n", failures)
+
+	// Incremental-analysis effectiveness: inside every optimizer run, how
+	// many WCET re-validations were served from the previous fixpoint
+	// versus computed from scratch. Process-wide (wcet package counters),
+	// so the sweep engine's cells are included too.
+	as := wcet.Stats()
+	ew.head("ucp_analysis_incremental_hits_total", "counter", "WCET re-analyses seeded incrementally from a previous result.")
+	ew.printf("ucp_analysis_incremental_hits_total %d\n", as.Incremental)
+	ew.head("ucp_analysis_full_reanalyses_total", "counter", "WCET analyses computed from scratch.")
+	ew.printf("ucp_analysis_full_reanalyses_total %d\n", as.Full)
 
 	counts := s.jobs.counts()
 	ew.head("ucp_jobs", "gauge", "Sweep jobs by state.")

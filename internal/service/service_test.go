@@ -178,6 +178,15 @@ func TestAnalyzeAndCacheHit(t *testing.T) {
 	if !strings.Contains(m, `ucp_requests_total{route="POST /v1/analyze"} 2`) {
 		t.Errorf("request counter missing or wrong:\n%s", m)
 	}
+	// The analysis-mode counters are process-wide (they also count other
+	// tests in this binary), so assert presence and a sane floor: the one
+	// executed analysis performed at least one from-scratch AnalyzeX.
+	if full := metricValue(t, m, "ucp_analysis_full_reanalyses_total"); full < 1 {
+		t.Errorf("ucp_analysis_full_reanalyses_total = %g, want >= 1", full)
+	}
+	if inc := metricValue(t, m, "ucp_analysis_incremental_hits_total"); inc < 0 {
+		t.Errorf("ucp_analysis_incremental_hits_total = %g, want >= 0", inc)
+	}
 }
 
 func TestAnalyzeErrors(t *testing.T) {

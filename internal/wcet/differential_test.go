@@ -1,0 +1,204 @@
+package wcet_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ucp/internal/cache"
+	"ucp/internal/isa"
+	"ucp/internal/malardalen"
+	"ucp/internal/vivu"
+	"ucp/internal/wcet"
+)
+
+// These tests pin the core claim of the incremental path: AnalyzeXFrom must
+// be bit-identical — classifications, effectiveness, Tw, Cost, Extra, Nw,
+// τ_w, misses, fetches — to a from-scratch AnalyzeX after every mutation,
+// across a chain of mutations (each incremental result seeds the next).
+
+var diffPrograms = []string{"adpcm", "compress", "crc", "fdct", "statemate"}
+var diffConfigs = []int{0, 4, 8, 13, 26, 32}
+
+func compareResults(t *testing.T, where string, inc, full *wcet.Result) {
+	t.Helper()
+	if inc.TauW != full.TauW {
+		t.Fatalf("%s: τ_w incremental %d != full %d", where, inc.TauW, full.TauW)
+	}
+	if inc.Misses != full.Misses || inc.Fetches != full.Fetches {
+		t.Fatalf("%s: misses/fetches incremental %d/%d != full %d/%d",
+			where, inc.Misses, inc.Fetches, full.Misses, full.Fetches)
+	}
+	for id := range full.Nw {
+		if inc.Nw[id] != full.Nw[id] {
+			t.Fatalf("%s: Nw[%d] incremental %d != full %d", where, id, inc.Nw[id], full.Nw[id])
+		}
+		if inc.Cost[id] != full.Cost[id] || inc.Extra[id] != full.Extra[id] {
+			t.Fatalf("%s: cost/extra[%d] diverge", where, id)
+		}
+		if len(inc.Tw[id]) != len(full.Tw[id]) {
+			t.Fatalf("%s: Tw[%d] length diverges", where, id)
+		}
+		for i := range full.Tw[id] {
+			if inc.Tw[id][i] != full.Tw[id][i] {
+				t.Fatalf("%s: Tw[%d][%d] incremental %d != full %d",
+					where, id, i, inc.Tw[id][i], full.Tw[id][i])
+			}
+		}
+		for i := range full.AI.Class[id] {
+			if inc.AI.Class[id][i] != full.AI.Class[id][i] {
+				t.Fatalf("%s: class[%d][%d] incremental %v != full %v",
+					where, id, i, inc.AI.Class[id][i], full.AI.Class[id][i])
+			}
+		}
+		for i := range full.AI.Effective[id] {
+			if inc.AI.Effective[id][i] != full.AI.Effective[id][i] {
+				t.Fatalf("%s: effectiveness[%d][%d] diverges", where, id, i)
+			}
+		}
+		if !inc.AI.In[id].Equal(full.AI.In[id]) {
+			t.Fatalf("%s: abstract in-state of block %d diverges", where, id)
+		}
+	}
+}
+
+// randomRef picks an existing instruction of p.
+func randomRef(rng *rand.Rand, p *isa.Program) isa.InstrRef {
+	b := p.Blocks[rng.Intn(len(p.Blocks))]
+	return isa.InstrRef{Block: b.ID, Index: rng.Intn(len(b.Instrs))}
+}
+
+// insertAt returns a random legal insertion anchor: any instruction that is
+// not the block's last (so a terminator is never displaced), in a block
+// with at least two instructions.
+func insertAt(rng *rand.Rand, p *isa.Program) (isa.InstrRef, bool) {
+	for tries := 0; tries < 32; tries++ {
+		b := p.Blocks[rng.Intn(len(p.Blocks))]
+		if len(b.Instrs) < 2 {
+			continue
+		}
+		return isa.InstrRef{Block: b.ID, Index: rng.Intn(len(b.Instrs) - 1)}, true
+	}
+	return isa.InstrRef{}, false
+}
+
+// mutate applies one random program edit of the kinds the optimizer
+// performs (prefetch insertion/removal) plus pad insertion, which shifts
+// addresses and exercises wide dirty regions.
+func mutate(rng *rand.Rand, p *isa.Program) bool {
+	switch rng.Intn(4) {
+	case 0: // remove a random prefetch, if any
+		var pfts []isa.InstrRef
+		for _, b := range p.Blocks {
+			for i, in := range b.Instrs {
+				if in.Kind == isa.KindPrefetch {
+					pfts = append(pfts, isa.InstrRef{Block: b.ID, Index: i})
+				}
+			}
+		}
+		if len(pfts) > 0 {
+			p.RemoveInstr(pfts[rng.Intn(len(pfts))])
+			return true
+		}
+		fallthrough
+	case 1, 2: // insert a prefetch of a random existing reference
+		at, ok := insertAt(rng, p)
+		if !ok {
+			return false
+		}
+		p.InsertInstr(at, isa.Instr{Kind: isa.KindPrefetch, Target: randomRef(rng, p)})
+		return true
+	default: // insert a pad (pure layout shift)
+		at, ok := insertAt(rng, p)
+		if !ok {
+			return false
+		}
+		p.InsertInstr(at, isa.Instr{Kind: isa.KindPad})
+		return true
+	}
+}
+
+func TestDifferentialIncrementalVsFull(t *testing.T) {
+	t.Parallel()
+	configs := cache.Table2()
+	par := wcet.Params{HitCycles: 1, MissPenalty: 10, Lambda: 10}
+	steps := 8
+	if testing.Short() {
+		steps = 3
+	}
+	for _, name := range diffPrograms {
+		bm, ok := malardalen.ByName(name)
+		if !ok {
+			t.Fatalf("unknown program %s", name)
+		}
+		for _, ci := range diffConfigs {
+			cfg := configs[ci]
+			p := bm.Prog.Clone()
+			x, err := vivu.Expand(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev, err := wcet.AnalyzeX(x, cfg, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(ci)*1009 + int64(len(name))))
+			for step := 0; step < steps; step++ {
+				if !mutate(rng, p) {
+					continue
+				}
+				inc, err := wcet.AnalyzeXFrom(x, cfg, par, prev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, err := wcet.AnalyzeX(x, cfg, par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareResults(t, name+"/"+cache.ConfigID(ci), inc, full)
+				prev = inc // chain: the next round seeds from the incremental result
+			}
+		}
+	}
+}
+
+// TestDifferentialDirtyPropagationFuzz hammers one program×config with many
+// random mutations per round (so dirty regions overlap and interact) and
+// checks the propagated fixpoint still matches a from-scratch analysis
+// exactly.
+func TestDifferentialDirtyPropagationFuzz(t *testing.T) {
+	t.Parallel()
+	cfg := cache.Table2()[8]
+	par := wcet.Params{HitCycles: 1, MissPenalty: 10, Lambda: 10}
+	rounds := 20
+	if testing.Short() {
+		rounds = 5
+	}
+	for _, name := range []string{"crc", "statemate"} {
+		bm, _ := malardalen.ByName(name)
+		p := bm.Prog.Clone()
+		x, err := vivu.Expand(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev, err := wcet.AnalyzeX(x, cfg, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		for round := 0; round < rounds; round++ {
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				mutate(rng, p)
+			}
+			inc, err := wcet.AnalyzeXFrom(x, cfg, par, prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := wcet.AnalyzeX(x, cfg, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, name, inc, full)
+			prev = inc
+		}
+	}
+}

@@ -85,62 +85,10 @@ func AnalyzeX(x *vivu.Prog, cfg cache.Config, par Params) (*Result, error) {
 	if err := par.Valid(); err != nil {
 		return nil, err
 	}
+	statFull.Add(1)
 	lay := isa.NewLayout(x.Prog)
 	ai := absint.Analyze(x, lay, cfg, int(par.Lambda))
-
-	res := &Result{
-		Prog: x.Prog, X: x, Lay: lay, AI: ai, Cfg: cfg, Par: par,
-		Tw:   make([][]int64, len(x.Blocks)),
-		Cost: make([]int64, len(x.Blocks)),
-	}
-	// extra[xb] carries the one-time first-miss charges of the block's
-	// persistence-classified references: each pays one miss penalty per
-	// entry of its loop region, not per execution.
-	extra := make([]int64, len(x.Blocks))
-	for _, xb := range x.Blocks {
-		instrs := x.Prog.Blocks[xb.Orig].Instrs
-		row := make([]int64, len(instrs))
-		total := int64(0)
-		for i := range instrs {
-			t := par.MissCycles()
-			switch ai.Class[xb.ID][i] {
-			case absint.AlwaysHit:
-				t = par.HitCycles
-			case absint.FirstMiss:
-				t = par.HitCycles
-				extra[xb.ID] += par.MissPenalty
-			}
-			row[i] = t
-			total += t
-		}
-		res.Tw[xb.ID] = row
-		res.Cost[xb.ID] = total
-	}
-
-	res.Extra = extra
-	nw, tau, err := solveStructuralExtra(x, res.Cost, extra)
-	if err != nil {
-		return nil, err
-	}
-	res.Nw = nw
-	res.TauW = tau
-	for _, xb := range x.Blocks {
-		n := nw[xb.ID]
-		if n == 0 {
-			continue
-		}
-		res.Fetches += n * int64(len(x.Prog.Blocks[xb.Orig].Instrs))
-		for i := range x.Prog.Blocks[xb.Orig].Instrs {
-			switch ai.Class[xb.ID][i] {
-			case absint.AlwaysHit:
-			case absint.FirstMiss:
-				res.Misses++ // at most one miss regardless of n_w
-			default:
-				res.Misses += n
-			}
-		}
-	}
-	return res, nil
+	return assemble(x, cfg, par, lay, ai, nil)
 }
 
 // SolveCounts runs the structural WCET-scenario solver for externally

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the analysis micro-benchmarks with -benchmem and records name,
+# ns/op, and allocs/op in BENCH_PR2.json so the performance trajectory is
+# tracked in-repo. Override the measurement length for a CI smoke run:
+#
+#   BENCHTIME=1x ./scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+PATTERN="${PATTERN:-^(BenchmarkAnalyzeXFull|BenchmarkAnalyzeXIncremental|BenchmarkStateClone|BenchmarkStateJoin|BenchmarkFigure3)$}"
+OUT="${OUT:-BENCH_PR2.json}"
+
+raw=$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count=1 .)
+echo "$raw"
+
+echo "$raw" | awk '
+  $1 ~ /^Benchmark/ && $NF == "allocs/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op") ns = $(i - 1)
+      if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "" || allocs == "") next
+    rows[++n] = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs)
+  }
+  END {
+    print "["
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    print "]"
+  }
+' > "$OUT"
+echo "wrote $OUT"
