@@ -82,6 +82,33 @@ func BenchmarkFigure3(b *testing.B) {
 	suite.Figure3(benchOut(b))
 }
 
+// BenchmarkFigure3Policy regenerates the Figure 3 sub-sweep once per cache
+// replacement policy, so the cost of the policy-generic analysis seam is
+// tracked per policy (BENCH_PR3.json): LRU runs the exact classical
+// transfers, FIFO and PLRU the conservative ones of DESIGN.md §9.
+func BenchmarkFigure3Policy(b *testing.B) {
+	for _, pol := range cache.Policies() {
+		b.Run(pol.String(), func(b *testing.B) {
+			var suite *experiment.Suite
+			for i := 0; i < b.N; i++ {
+				var err error
+				suite, err = experiment.Run(experiment.Options{
+					Programs:         benchPrograms,
+					Configs:          benchConfigs,
+					Techs:            []energy.Tech{energy.Tech45},
+					Policy:           pol,
+					Runs:             1,
+					ValidationBudget: 80,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			suite.Figure3(benchOut(b))
+		})
+	}
+}
+
 // BenchmarkFigure4 regenerates Figure 4: the miss-rate impact per cache
 // size.
 func BenchmarkFigure4(b *testing.B) {

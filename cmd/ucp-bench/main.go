@@ -6,7 +6,7 @@
 // Usage:
 //
 //	ucp-bench -table 1
-//	ucp-bench -figure 3 -programs fdct,crc -configs k1,k5,k14
+//	ucp-bench -figure 3 -programs fdct,crc -configs k1,k5,k14 [-policy plru]
 //	ucp-bench -all -out results.txt          # the full 37×36×2 sweep
 package main
 
@@ -29,6 +29,7 @@ func main() {
 		programs = flag.String("programs", "all", "comma-separated benchmark subset")
 		configs  = flag.String("configs", "all", "comma-separated configuration subset (k labels)")
 		techs    = flag.String("techs", "all", "comma-separated technology subset")
+		policy   = flag.String("policy", "lru", "cache replacement policy for the sweep: lru, fifo, or plru")
 		runs     = flag.Int("runs", 3, "average-case executions per measurement")
 		budget   = flag.Int("budget", 0, "optimizer validation budget per cell (0 = default)")
 		workers  = flag.Int("workers", 0, "cells analyzed concurrently (0 = GOMAXPROCS, 1 = serial)")
@@ -61,11 +62,14 @@ func main() {
 	exitOn(err)
 	tns, err := cliutil.TechList(*techs)
 	exitOn(err)
+	pol, err := cliutil.Policy(*policy)
+	exitOn(err)
 
 	opts := experiment.Options{
 		Programs:         progs,
 		Configs:          cfgs,
 		Techs:            tns,
+		Policy:           pol,
 		Runs:             *runs,
 		ValidationBudget: *budget,
 		Workers:          *workers,

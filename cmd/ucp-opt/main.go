@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ucp-opt -program fdct -config k5 -tech 45nm [-budget 700] [-dump]
+//	ucp-opt -program fdct -config k5 -tech 45nm [-policy lru|fifo|plru] [-budget 700] [-dump]
 package main
 
 import (
@@ -22,6 +22,7 @@ func main() {
 	var (
 		program = flag.String("program", "fdct", "benchmark name (see ucp-bench -table 1) or path to a program file (isa asm format)")
 		config  = flag.String("config", "k5", "cache configuration label k1..k36 (see ucp-bench -table 2)")
+		policy  = flag.String("policy", "lru", "cache replacement policy: lru, fifo, or plru")
 		tech    = flag.String("tech", "45nm", "process technology: 45nm or 32nm")
 		budget  = flag.Int("budget", 0, "validation budget (0 = default)")
 		dump    = flag.Bool("dump", false, "dump the optimized program's prefetch instructions")
@@ -35,6 +36,10 @@ func main() {
 	}
 	_, cfg, tn, err := cliutil.ConfigTech(*config, *tech)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if cfg.Policy, err = cliutil.Policy(*policy); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}

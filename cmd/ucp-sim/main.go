@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ucp-sim -program adpcm -config k2 -tech 32nm [-runs 5] [-hw next-line-tagged] [-locked]
+//	ucp-sim -program adpcm -config k2 -tech 32nm [-policy lru|fifo|plru] [-runs 5] [-hw next-line-tagged] [-locked]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	var (
 		program = flag.String("program", "adpcm", "benchmark program name")
 		config  = flag.String("config", "k2", "cache configuration label k1..k36")
+		policy  = flag.String("policy", "lru", "cache replacement policy: lru, fifo, or plru")
 		tech    = flag.String("tech", "45nm", "process technology: 45nm or 32nm")
 		runs    = flag.Int("runs", 3, "average-case executions")
 		seed    = flag.Int64("seed", 7, "driver seed")
@@ -40,6 +41,10 @@ func main() {
 	}
 	_, cfg, tn, err := cliutil.ConfigTech(*config, *tech)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if cfg.Policy, err = cliutil.Policy(*policy); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}

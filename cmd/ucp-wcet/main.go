@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ucp-wcet -program crc -config k14 -tech 45nm [-ilp] [-contexts]
+//	ucp-wcet -program crc -config k14 -tech 45nm [-policy lru|fifo|plru] [-ilp] [-contexts]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	var (
 		program  = flag.String("program", "crc", "benchmark program name")
 		config   = flag.String("config", "k14", "cache configuration label k1..k36")
+		policy   = flag.String("policy", "lru", "cache replacement policy: lru, fifo, or plru")
 		tech     = flag.String("tech", "45nm", "process technology: 45nm or 32nm")
 		ilpCheck = flag.Bool("ilp", false, "cross-check the structural solver against the IPET ILP")
 		contexts = flag.Bool("contexts", false, "print the per-context classification table")
@@ -37,6 +38,10 @@ func main() {
 	}
 	_, cfg, tn, err := cliutil.ConfigTech(*config, *tech)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if cfg.Policy, err = cliutil.Policy(*policy); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}

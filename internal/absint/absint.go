@@ -3,7 +3,9 @@
 // aging), extended — as the paper requires — with the effect of software
 // prefetch instructions. The fixpoint runs on the VIVU-expanded graph, so
 // first-iteration and other-iteration references of every loop are
-// classified separately.
+// classified separately. The transfer functions are selected by the cache
+// configuration's replacement policy (see policy.go): LRU is the paper's
+// exact semantics, FIFO and tree-PLRU use sound but coarser transfers.
 //
 // Classification soundness is the load-bearing invariant: a reference
 // classified AlwaysHit must hit in every concrete execution that respects
@@ -157,6 +159,7 @@ func (s setState) hash() uint64 {
 // (ages are capped at the associativity, the "maybe evicted" top element).
 type State struct {
 	cfg  cache.Config
+	tr   policyTransfer // transfer functions for cfg.Policy (see policy.go)
 	must []setState
 	may  []setState
 	pers []setState
@@ -184,6 +187,7 @@ func NewState(cfg cache.Config) *State {
 	h := make([]setState, 3*n)
 	return &State{
 		cfg:  cfg,
+		tr:   transferFor(cfg),
 		must: h[0:n:n],
 		may:  h[n : 2*n : 2*n],
 		pers: h[2*n:],
@@ -307,11 +311,12 @@ func (s *State) MayContains(blk uint64) bool {
 
 // Persistent reports whether blk, if it was ever loaded, is guaranteed not
 // to have been evicted since (its persistence age bound is below the
-// associativity).
+// policy's persistence horizon — the associativity for LRU and FIFO, the
+// log2(a)+1 virtual associativity for tree-PLRU).
 func (s *State) Persistent(blk uint64) bool {
 	set := s.pers[s.cfg.SetOf(blk)]
 	if i := set.find(blk); i >= 0 {
-		return set[i].age() < uint8(s.cfg.Assoc)
+		return set[i].age() < s.tr.persLimit()
 	}
 	// Never loaded on any path reaching here: the access itself will be
 	// the (single) first load.
@@ -329,15 +334,13 @@ func (s *State) Classify(blk uint64) Classification {
 	return NotClassified
 }
 
-// Access applies the abstract LRU update for a reference to blk to both
-// components (the abstract update function Û).
+// Access applies the abstract update for a reference to blk to all
+// components (the abstract update function Û) under the configured
+// replacement policy.
 func (s *State) Access(blk uint64) {
 	si := s.cfg.SetOf(blk)
-	a := uint8(s.cfg.Assoc)
 	m0, y0, p0 := len(s.must[si]), len(s.may[si]), len(s.pers[si])
-	s.must[si] = mustUpdate(s.must[si], blk, a)
-	s.may[si] = mayUpdate(s.may[si], blk, a)
-	s.pers[si] = persUpdate(s.pers[si], blk, a)
+	s.tr.access(s, si, blk)
 	s.nMust += int32(len(s.must[si]) - m0)
 	s.nMay += int32(len(s.may[si]) - y0)
 	s.nPers += int32(len(s.pers[si]) - p0)
@@ -356,22 +359,8 @@ func (s *State) Access(blk uint64) {
 // minimum age grows (the join of the filled and unfilled possibilities).
 func (s *State) PrefetchFill(blk uint64, effective bool) {
 	si := s.cfg.SetOf(blk)
-	a := uint8(s.cfg.Assoc)
 	m0, y0, p0 := len(s.must[si]), len(s.may[si]), len(s.pers[si])
-	if effective {
-		s.must[si] = mustUpdate(s.must[si], blk, a)
-	} else {
-		s.must[si] = mustAgeAll(s.must[si], a)
-	}
-	s.may[si] = mayInsertFresh(s.may[si], blk)
-	// The fill may displace any block at an unknown time: age the
-	// persistence bounds; the target itself may land (age 0 is only safe
-	// when effective — otherwise keep whatever bound it had).
-	if effective {
-		s.pers[si] = persUpdate(s.pers[si], blk, a)
-	} else {
-		s.pers[si] = persAgeAll(s.pers[si], a)
-	}
+	s.tr.fill(s, si, blk, effective)
 	s.nMust += int32(len(s.must[si]) - m0)
 	s.nMay += int32(len(s.may[si]) - y0)
 	s.nPers += int32(len(s.pers[si]) - p0)

@@ -1,0 +1,217 @@
+package absint
+
+import (
+	"math/bits"
+
+	"ucp/internal/cache"
+)
+
+// policyTransfer is the seam between the policy-independent abstract-state
+// machinery (packed entries, pooling, interning, joins — see incremental.go)
+// and the policy-specific transfer functions. Implementations mutate the
+// per-set slices of a State directly; the entry-count and hash bookkeeping
+// stays in State.Access / State.PrefetchFill, and the join functions stay
+// shared because must/may/persistence joins are lattice operations on age
+// bounds, independent of how the bounds evolve.
+//
+// LRU transfers are the exact classical updates of Ferdinand-style analysis
+// and remain bit-identical to the pre-refactor code path. FIFO and PLRU
+// transfers are sound but deliberately coarser; see DESIGN.md §9.
+type policyTransfer interface {
+	// access applies the abstract update of a reference to blk in set si.
+	access(s *State, si int, blk uint64)
+	// fill applies the abstract effect of a prefetch fill of blk in set si;
+	// effective means the fill provably completes before blk's next use.
+	fill(s *State, si int, blk uint64, effective bool)
+	// persLimit is the age bound below which a persistence entry still
+	// guarantees "never evicted since load" (the component's top element).
+	persLimit() uint8
+}
+
+// transferFor selects the transfer implementation for a configuration.
+func transferFor(cfg cache.Config) policyTransfer {
+	a := uint8(cfg.Assoc)
+	switch cfg.Policy {
+	case cache.FIFO:
+		return fifoTransfer{assoc: a}
+	case cache.PLRU:
+		if cfg.Assoc <= 2 {
+			// Tree-PLRU with one or two ways is exactly LRU.
+			return lruTransfer{assoc: a}
+		}
+		// Sound must/persistence horizon for tree-PLRU: a block accessed is
+		// guaranteed resident for the next log2(a)+1 distinct-block
+		// insertions (Heckmann et al., "The influence of processor
+		// architecture on the design and the results of WCET tools").
+		return plruTransfer{eff: uint8(bits.Len(uint(cfg.Assoc)))}
+	}
+	return lruTransfer{assoc: a}
+}
+
+// --- LRU -----------------------------------------------------------------
+
+// lruTransfer is the paper's exact abstract LRU semantics: the pre-existing
+// update functions of this package, called in the pre-existing order.
+type lruTransfer struct{ assoc uint8 }
+
+func (t lruTransfer) access(s *State, si int, blk uint64) {
+	s.must[si] = mustUpdate(s.must[si], blk, t.assoc)
+	s.may[si] = mayUpdate(s.may[si], blk, t.assoc)
+	s.pers[si] = persUpdate(s.pers[si], blk, t.assoc)
+}
+
+func (t lruTransfer) fill(s *State, si int, blk uint64, effective bool) {
+	if effective {
+		s.must[si] = mustUpdate(s.must[si], blk, t.assoc)
+	} else {
+		s.must[si] = mustAgeAll(s.must[si], t.assoc)
+	}
+	s.may[si] = mayInsertFresh(s.may[si], blk)
+	// The fill may displace any block at an unknown time: age the
+	// persistence bounds; the target itself may land (age 0 is only safe
+	// when effective — otherwise keep whatever bound it had).
+	if effective {
+		s.pers[si] = persUpdate(s.pers[si], blk, t.assoc)
+	} else {
+		s.pers[si] = persAgeAll(s.pers[si], t.assoc)
+	}
+}
+
+func (t lruTransfer) persLimit() uint8 { return t.assoc }
+
+// --- FIFO ----------------------------------------------------------------
+
+// fifoTransfer models FIFO replacement, where a hit leaves the set
+// untouched and a miss shifts every block by exactly one position. The
+// update is a case split on what the current state can prove about the
+// access:
+//
+//   - blk in must: a definite hit — no component changes (exact).
+//   - blk not in may: a definite miss — the insertion shifts everything by
+//     one, which is precisely the LRU update functions with the accessed
+//     block absent (their "previous age" refinement degenerates to
+//     age-everything), except that persistence must age every tracked
+//     bound (fifoPersMiss).
+//   - otherwise: the join of the hit outcome (no change) and the miss
+//     outcome (everything ages, blk at position 0): must ages everything
+//     and keeps blk only at the weakest bound assoc−1 (resident either
+//     way, position unknown); may takes the minimum, i.e. no aging and blk
+//     at lower bound 0; persistence ages every other bound but must NOT
+//     reset blk's own bound — unlike LRU, a FIFO hit does not refresh the
+//     block's position, so its age keeps counting from the original load.
+type fifoTransfer struct{ assoc uint8 }
+
+func (t fifoTransfer) access(s *State, si int, blk uint64) {
+	if s.must[si].find(blk) >= 0 {
+		return // definite hit: FIFO state is untouched
+	}
+	if s.may[si].find(blk) < 0 {
+		// Definite miss: exact one-position shift of the whole set.
+		s.must[si] = mustUpdate(s.must[si], blk, t.assoc)
+		s.may[si] = mayUpdate(s.may[si], blk, t.assoc)
+		s.pers[si] = fifoPersMiss(s.pers[si], blk, t.assoc)
+		return
+	}
+	// Unknown hit/miss: join of both outcomes.
+	s.must[si] = fifoMustUnknown(s.must[si], blk, t.assoc)
+	s.may[si] = mayInsertFresh(s.may[si], blk)
+	s.pers[si] = fifoPersUnknown(s.pers[si], blk, t.assoc)
+}
+
+func (t fifoTransfer) fill(s *State, si int, blk uint64, effective bool) {
+	if effective {
+		// An effective fill completes before blk's next use, so it behaves
+		// exactly like an access: a redundant fill of a resident block is
+		// squashed (the definite-hit case), otherwise the block is inserted.
+		t.access(s, si, blk)
+		return
+	}
+	s.must[si] = mustAgeAll(s.must[si], t.assoc)
+	s.may[si] = mayInsertFresh(s.may[si], blk)
+	s.pers[si] = persAgeAll(s.pers[si], t.assoc)
+}
+
+func (t fifoTransfer) persLimit() uint8 { return t.assoc }
+
+// fifoMustUnknown is the must update for an access that may hit or miss
+// under FIFO: every other bound ages by one (the miss outcome dominates the
+// join), and the accessed block is guaranteed resident either way but at an
+// unknown position, so it enters at the weakest bound assoc−1.
+func fifoMustUnknown(s setState, m uint64, assoc uint8) setState {
+	w := 0
+	for _, e := range s {
+		e++ // ages live in the low bits, so +1 ages the entry
+		if e.age() < assoc {
+			s[w] = e
+			w++
+		}
+	}
+	return s[:w].insert(m, assoc-1)
+}
+
+// fifoPersMiss is the persistence update for a definite FIFO miss: the
+// insertion shifts the whole set, so every tracked bound ages (capped at
+// the limit), and the freshly loaded block restarts at zero.
+func fifoPersMiss(s setState, m uint64, assoc uint8) setState {
+	if i := s.find(m); i >= 0 {
+		s = s.remove(i)
+	}
+	for j := range s {
+		if s[j].age() < assoc {
+			s[j]++
+		}
+	}
+	return s.insert(m, 0)
+}
+
+// fifoPersUnknown is the persistence update for a may-hit-may-miss FIFO
+// access: other bounds age (miss outcome), but the accessed block's own
+// bound is kept — a FIFO hit does not reset a block's position, so
+// resetting it here would be unsound. A block never tracked before starts
+// at zero (this access is its first load on every path through here).
+func fifoPersUnknown(s setState, m uint64, assoc uint8) setState {
+	found := false
+	for j := range s {
+		if s[j].blk() == m {
+			found = true
+			continue
+		}
+		if s[j].age() < assoc {
+			s[j]++
+		}
+	}
+	if !found {
+		s = s.insert(m, 0)
+	}
+	return s
+}
+
+// --- tree-PLRU -----------------------------------------------------------
+
+// plruTransfer models tree-PLRU through the classical reduction: the must
+// and persistence components run the exact LRU updates against a virtual
+// associativity of eff = log2(a)+1, the number of accesses a touched block
+// is guaranteed to survive under tree bits (Heckmann et al.). The may
+// component cannot bound evictions usefully (a PLRU victim can be almost
+// any way), so it only accumulates possibly-resident blocks: AlwaysMiss is
+// claimed only for blocks never loaded in the set.
+type plruTransfer struct{ eff uint8 }
+
+func (t plruTransfer) access(s *State, si int, blk uint64) {
+	s.must[si] = mustUpdate(s.must[si], blk, t.eff)
+	s.may[si] = mayInsertFresh(s.may[si], blk)
+	s.pers[si] = persUpdate(s.pers[si], blk, t.eff)
+}
+
+func (t plruTransfer) fill(s *State, si int, blk uint64, effective bool) {
+	if effective {
+		s.must[si] = mustUpdate(s.must[si], blk, t.eff)
+		s.pers[si] = persUpdate(s.pers[si], blk, t.eff)
+	} else {
+		s.must[si] = mustAgeAll(s.must[si], t.eff)
+		s.pers[si] = persAgeAll(s.pers[si], t.eff)
+	}
+	s.may[si] = mayInsertFresh(s.may[si], blk)
+}
+
+func (t plruTransfer) persLimit() uint8 { return t.eff }

@@ -12,13 +12,13 @@ func TestTable2MatchesPaper(t *testing.T) {
 		t.Fatalf("Table 2 has %d entries, want 36", len(cfgs))
 	}
 	// Spot-check the paper's labels.
-	if cfgs[0] != (Config{1, 16, 256}) {
+	if cfgs[0] != (Config{Assoc: 1, BlockBytes: 16, CapacityBytes: 256}) {
 		t.Fatalf("k1 = %v", cfgs[0])
 	}
-	if cfgs[3] != (Config{1, 32, 256}) {
+	if cfgs[3] != (Config{Assoc: 1, BlockBytes: 32, CapacityBytes: 256}) {
 		t.Fatalf("k4 = %v", cfgs[3])
 	}
-	if cfgs[35] != (Config{4, 32, 8192}) {
+	if cfgs[35] != (Config{Assoc: 4, BlockBytes: 32, CapacityBytes: 8192}) {
 		t.Fatalf("k36 = %v", cfgs[35])
 	}
 	if ConfigID(6) != "k7" {

@@ -1,0 +1,168 @@
+package cache
+
+import "fmt"
+
+// Policy selects the replacement policy of a cache configuration. The zero
+// value is true LRU — the policy of the paper's machine model — so every
+// pre-existing Config literal, the Table 2 entries, fingerprints, and cache
+// keys keep their meaning unchanged.
+type Policy uint8
+
+const (
+	// LRU is true least-recently-used replacement (the paper's model).
+	LRU Policy = iota
+	// FIFO replaces in insertion order: a hit does not touch the
+	// replacement state, a miss inserts the block and evicts the oldest
+	// insertion of the set.
+	FIFO
+	// PLRU is tree-based pseudo-LRU: one bit per internal node of a binary
+	// tree over the ways points away from the most recently touched way;
+	// the victim is found by following the bits. Requires a power-of-two
+	// associativity. For 1 and 2 ways tree-PLRU coincides exactly with LRU.
+	PLRU
+)
+
+// Policies returns every supported policy, LRU first.
+func Policies() []Policy { return []Policy{LRU, FIFO, PLRU} }
+
+// String returns the lower-case policy name used in flags, the API, and
+// cache keys.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case PLRU:
+		return "plru"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy resolves a policy name. The empty string is LRU, so omitted
+// flags and absent JSON fields select the paper's default.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "lru":
+		return LRU, nil
+	case "fifo":
+		return FIFO, nil
+	case "plru", "tree-plru":
+		return PLRU, nil
+	}
+	return 0, fmt.Errorf("unknown replacement policy %q (want lru, fifo or plru)", s)
+}
+
+// valid reports whether the policy is usable with the given associativity.
+func (p Policy) valid(assoc int) error {
+	switch p {
+	case LRU, FIFO:
+		return nil
+	case PLRU:
+		if assoc&(assoc-1) != 0 {
+			return fmt.Errorf("cache: plru needs a power-of-two associativity, got %d", assoc)
+		}
+		return nil
+	}
+	return fmt.Errorf("cache: unknown replacement policy %d", uint8(p))
+}
+
+// --- FIFO concrete state -------------------------------------------------
+//
+// FIFO shares the LRU representation (sets[si][0] is the newest entry), but
+// order means insertion order, and a hit leaves it untouched.
+
+func (s *State) fifoAccess(block uint64) (hit bool, evicted uint64) {
+	si := s.cfg.SetOf(block)
+	for _, b := range s.sets[si] {
+		if b == block {
+			return true, InvalidBlock
+		}
+	}
+	return false, s.pushFront(si, block)
+}
+
+// pushFront inserts block as the newest entry of set si, evicting the
+// oldest entry when the set is full (the shared miss path of LRU and FIFO).
+func (s *State) pushFront(si int, block uint64) (evicted uint64) {
+	set := s.sets[si]
+	evicted = InvalidBlock
+	if len(set) < s.cfg.Assoc {
+		set = append(set, 0)
+	} else {
+		evicted = set[len(set)-1]
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = block
+	s.sets[si] = set
+	return evicted
+}
+
+// --- tree-PLRU concrete state --------------------------------------------
+//
+// The ways of a set are fixed slots (sets[si] has length assoc, with
+// InvalidBlock marking empty ways) and plru[si] holds the tree bits,
+// heap-indexed: node 1 is the root, node n's children are 2n and 2n+1, and
+// the leaves n ∈ [assoc, 2·assoc) map to way n−assoc. Bit 0 points the
+// victim search left, bit 1 right; touching a way flips the bits on its
+// root path away from it.
+
+func (s *State) plruAccess(block uint64) (hit bool, evicted uint64) {
+	si := s.cfg.SetOf(block)
+	ways := s.sets[si]
+	for w, b := range ways {
+		if b == block {
+			s.plruTouch(si, w)
+			return true, InvalidBlock
+		}
+	}
+	w := -1
+	for i, b := range ways {
+		if b == InvalidBlock {
+			w = i
+			break
+		}
+	}
+	evicted = InvalidBlock
+	if w < 0 {
+		w = s.plruVictim(si)
+		evicted = ways[w]
+	}
+	ways[w] = block
+	s.plruTouch(si, w)
+	return false, evicted
+}
+
+// plruVictim follows the tree bits from the root to the pseudo-LRU way.
+func (s *State) plruVictim(si int) int {
+	assoc := s.cfg.Assoc
+	node := 1
+	for node < assoc {
+		node = 2*node + int(s.plru[si]>>uint(node)&1)
+	}
+	return node - assoc
+}
+
+// plruTouch points every bit on way w's root path away from it.
+func (s *State) plruTouch(si, w int) {
+	for node := s.cfg.Assoc + w; node > 1; node /= 2 {
+		parent := node / 2
+		if node&1 == 1 {
+			// Came from the right child: the victim side is the left.
+			s.plru[si] &^= 1 << uint(parent)
+		} else {
+			s.plru[si] |= 1 << uint(parent)
+		}
+	}
+}
+
+func (s *State) plruWouldEvict(block uint64) uint64 {
+	si := s.cfg.SetOf(block)
+	for _, b := range s.sets[si] {
+		if b == block || b == InvalidBlock {
+			return InvalidBlock
+		}
+	}
+	return s.sets[si][s.plruVictim(si)]
+}

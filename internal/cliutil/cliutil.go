@@ -25,6 +25,27 @@ func Config(label string) (int, error) {
 	return 0, fmt.Errorf("unknown configuration %q (want k1..k36)", label)
 }
 
+// Policy resolves a replacement-policy name ("" or "lru", "fifo", "plru").
+func Policy(s string) (cache.Policy, error) {
+	return cache.ParsePolicy(strings.ToLower(strings.TrimSpace(s)))
+}
+
+// PolicyList parses a comma-separated policy list, or "all".
+func PolicyList(s string) ([]cache.Policy, error) {
+	if s == "" || s == "all" {
+		return nil, nil
+	}
+	var out []cache.Policy
+	for _, part := range strings.Split(s, ",") {
+		p, err := Policy(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
 // Tech resolves a technology name.
 func Tech(s string) (energy.Tech, error) {
 	switch s {

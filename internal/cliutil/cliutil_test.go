@@ -3,6 +3,7 @@ package cliutil
 import (
 	"testing"
 
+	"ucp/internal/cache"
 	"ucp/internal/energy"
 )
 
@@ -71,5 +72,30 @@ func TestLists(t *testing.T) {
 	}
 	if _, err := TechList("45nm,90nm"); err == nil {
 		t.Fatal("bad tech entry must be rejected")
+	}
+}
+
+func TestPolicy(t *testing.T) {
+	for in, want := range map[string]cache.Policy{
+		"": cache.LRU, "lru": cache.LRU, " FIFO ": cache.FIFO, "Plru": cache.PLRU,
+	} {
+		got, err := Policy(in)
+		if err != nil || got != want {
+			t.Errorf("Policy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := Policy("mru"); err == nil {
+		t.Fatal("unknown policy must be rejected")
+	}
+
+	ps, err := PolicyList("lru,fifo,plru")
+	if err != nil || len(ps) != 3 || ps[1] != cache.FIFO {
+		t.Fatalf("PolicyList = %v, %v", ps, err)
+	}
+	if ps, err := PolicyList("all"); err != nil || ps != nil {
+		t.Fatalf(`PolicyList("all") = %v, %v; want nil (full axis)`, ps, err)
+	}
+	if _, err := PolicyList("lru,bogus"); err == nil {
+		t.Fatal("bad policy entry must be rejected")
 	}
 }

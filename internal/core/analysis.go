@@ -56,8 +56,8 @@ func (o *optimizer) backwardOut() []*cache.State {
 	bwOut := make([]*cache.State, n)
 	valid := make([]bool, n)
 	for id := range bwIn {
-		bwIn[id] = cache.NewState(o.cfg)
-		bwOut[id] = cache.NewState(o.cfg)
+		bwIn[id] = cache.NewState(o.bwCfg)
+		bwOut[id] = cache.NewState(o.bwCfg)
 	}
 
 	// Residual back edges make the other-iterations context depend on its

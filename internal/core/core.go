@@ -129,7 +129,9 @@ func Optimize(p *isa.Program, cfg cache.Config, opt Options) (*isa.Program, *Rep
 		FetchesBefore: res.Fetches,
 	}
 
-	o := &optimizer{x: x, cfg: cfg, opt: opt, rep: rep, res: res, rejected: map[candidateKey]bool{}}
+	bwCfg := cfg
+	bwCfg.Policy = cache.LRU
+	o := &optimizer{x: x, cfg: cfg, bwCfg: bwCfg, opt: opt, rep: rep, res: res, rejected: map[candidateKey]bool{}}
 	o.topoPos = make([]int, len(x.Blocks))
 	for i, id := range x.Topo {
 		o.topoPos[id] = i
@@ -205,9 +207,16 @@ type candidate struct {
 type optimizer struct {
 	x   *vivu.Prog
 	cfg cache.Config
-	opt Options
-	rep *Report
-	res *wcet.Result
+	// bwCfg is cfg with the policy forced to LRU: the reverse walk's states
+	// encode next-use order *as* LRU order (Property 3 reads an eviction in
+	// them as "at least `associativity` distinct same-set blocks before the
+	// next use"), which holds whatever policy the analyzed cache runs. The
+	// walk is only the proposal heuristic — validation (refresh) analyzes
+	// under the real policy.
+	bwCfg cache.Config
+	opt   Options
+	rep   *Report
+	res   *wcet.Result
 
 	// bwOut caches the backward cache state at every expanded block's exit,
 	// and bwRes records which analysis result it was computed for. backward()
@@ -257,7 +266,7 @@ func (o *optimizer) collect() []candidate {
 	var out []candidate
 	bw := o.backward()
 	if o.bwScratch == nil {
-		o.bwScratch = cache.NewState(o.cfg)
+		o.bwScratch = cache.NewState(o.bwCfg)
 	}
 	st := o.bwScratch
 	for ti := len(order) - 1; ti >= 0; ti-- {

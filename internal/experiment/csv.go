@@ -35,7 +35,7 @@ func (s *Suite) WriteCSV(w io.Writer) error {
 	ew := &errWriter{w: w}
 	cw := csv.NewWriter(ew)
 	header := []string{
-		"program", "config", "assoc", "block_bytes", "capacity_bytes", "tech",
+		"program", "config", "assoc", "block_bytes", "capacity_bytes", "policy", "tech",
 		"inserted", "cond3_reverted",
 		"tau_orig", "tau_opt", "wcet_misses_orig", "wcet_misses_opt",
 		"acet_orig", "acet_opt", "missrate_orig", "missrate_opt",
@@ -53,7 +53,7 @@ func (s *Suite) WriteCSV(w io.Writer) error {
 		row := []string{
 			c.Program, c.ConfigID,
 			d(int64(c.Cfg.Assoc)), d(int64(c.Cfg.BlockBytes)), d(int64(c.Cfg.CapacityBytes)),
-			c.Tech.String(),
+			c.Cfg.Policy.String(), c.Tech.String(),
 			d(int64(c.Inserted)), fmt.Sprintf("%t", c.Cond3Reverted),
 			d(c.TauOrig), d(c.TauOpt), d(c.MissWOrig), d(c.MissWOpt),
 			f(c.ACETOrig), f(c.ACETOpt), f(c.MissRateOrig), f(c.MissRateOpt),

@@ -63,6 +63,9 @@ type Options struct {
 	Configs []int
 	// Techs restricts the technology nodes (nil = both).
 	Techs []energy.Tech
+	// Policy selects the cache replacement policy applied to every swept
+	// configuration (zero value = LRU, the paper's model).
+	Policy cache.Policy
 	// Runs is the number of average-case executions per measurement
 	// (default 3).
 	Runs int
@@ -186,6 +189,10 @@ func ratio(a, b float64) float64 {
 // RunCell measures one use case.
 func RunCell(b malardalen.Benchmark, cfgIdx int, tech energy.Tech, o Options) (Cell, error) {
 	cfg := cache.Table2()[cfgIdx]
+	cfg.Policy = o.Policy
+	if err := cfg.Valid(); err != nil {
+		return Cell{}, err
+	}
 	mdl := energy.NewModel(cfg, tech)
 	par := mdl.WCETParams()
 
@@ -287,8 +294,9 @@ func shrink(cfg cache.Config, factor int) (cache.Config, bool) {
 }
 
 // OptimizedProgram exposes the per-cell optimization for the CLI tools.
-func OptimizedProgram(b malardalen.Benchmark, cfgIdx int, tech energy.Tech, budget int) (*isa.Program, *core.Report, error) {
+func OptimizedProgram(b malardalen.Benchmark, cfgIdx int, tech energy.Tech, budget int, policy cache.Policy) (*isa.Program, *core.Report, error) {
 	cfg := cache.Table2()[cfgIdx]
+	cfg.Policy = policy
 	mdl := energy.NewModel(cfg, tech)
 	return core.Optimize(b.Prog, cfg, core.Options{Par: mdl.WCETParams(), ValidationBudget: budget})
 }

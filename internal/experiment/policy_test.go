@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"ucp/internal/cache"
+	"ucp/internal/energy"
+	"ucp/internal/malardalen"
+)
+
+// RunCell is an entry point for externally supplied options, so it must
+// reject an unusable policy before any analysis runs.
+func TestPolicyRunCellValidates(t *testing.T) {
+	b, _ := malardalen.ByName("fibcall")
+	if _, err := RunCell(b, 0, energy.Tech45, Options{Policy: cache.Policy(9), Runs: 1}); err == nil {
+		t.Fatal("RunCell accepted an unknown policy")
+	}
+}
+
+// A non-LRU cell must complete and carry its policy into the cell (and from
+// there into the CSV policy column).
+func TestPolicyRunCellAndCSV(t *testing.T) {
+	b, _ := malardalen.ByName("fibcall")
+	cell, err := RunCell(b, 0, energy.Tech45, Options{
+		Policy: cache.FIFO, Runs: 1, ValidationBudget: 20, SkipReduced: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Cfg.Policy != cache.FIFO {
+		t.Fatalf("cell policy = %v, want fifo", cell.Cfg.Policy)
+	}
+	if cell.TauOrig <= 0 || cell.ACETOrig <= 0 {
+		t.Fatalf("degenerate cell: %+v", cell)
+	}
+
+	var sb strings.Builder
+	if err := (&Suite{Cells: []Cell{cell}}).WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row", len(lines))
+	}
+	hdr := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	col := -1
+	for i, h := range hdr {
+		if h == "policy" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("CSV header has no policy column: %s", lines[0])
+	}
+	if row[col] != "fifo" {
+		t.Fatalf("CSV policy cell = %q, want fifo", row[col])
+	}
+}

@@ -5,6 +5,10 @@
 // performance (and, as technology scales, energy) for trivially predictable
 // timing — the trade-off the unlocked-prefetching technique is designed to
 // avoid.
+//
+// A locked cache never replaces anything, so the selection is independent of
+// the configuration's replacement policy: only the geometry (sets × ways)
+// matters, and the same baseline applies to LRU, FIFO, and PLRU sweeps.
 package locking
 
 import (

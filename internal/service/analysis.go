@@ -20,6 +20,9 @@ type AnalyzeRequest struct {
 	Program string `json:"program"`
 	Config  string `json:"config"`
 	Tech    string `json:"tech"`
+	// Policy is the cache replacement policy ("lru", "fifo", "plru");
+	// empty selects LRU, the paper's machine model.
+	Policy string `json:"policy,omitempty"`
 	// Runs is the number of average-case simulations (default 3).
 	Runs int `json:"runs,omitempty"`
 	// ValidationBudget caps the optimizer's re-analyses (0 = default).
@@ -35,6 +38,7 @@ type Result struct {
 	Assoc         int     `json:"assoc"`
 	BlockBytes    int     `json:"block_bytes"`
 	CapacityBytes int     `json:"capacity_bytes"`
+	Policy        string  `json:"policy"`
 	Tech          string  `json:"tech"`
 	Inserted      int     `json:"inserted"`
 	Cond3Reverted bool    `json:"cond3_reverted"`
@@ -83,6 +87,10 @@ func (s *Server) resolve(req AnalyzeRequest) (useCase, error) {
 	if err != nil {
 		return useCase{}, errorf(400, "%v", err)
 	}
+	policy, err := cliutil.Policy(req.Policy)
+	if err != nil {
+		return useCase{}, errorf(400, "%v", err)
+	}
 	tech, err := cliutil.Tech(req.Tech)
 	if err != nil {
 		return useCase{}, errorf(400, "%v", err)
@@ -97,10 +105,15 @@ func (s *Server) resolve(req AnalyzeRequest) (useCase, error) {
 	if req.ValidationBudget < 0 {
 		return useCase{}, errorf(400, "validation_budget must be non-negative")
 	}
+	cfg := cache.Table2()[ci]
+	cfg.Policy = policy
+	if err := cfg.Valid(); err != nil {
+		return useCase{}, errorf(400, "%v", err)
+	}
 	return useCase{
 		bench:  b,
 		cfgIdx: ci,
-		cfg:    cache.Table2()[ci],
+		cfg:    cfg,
 		tech:   tech,
 		runs:   runs,
 		budget: req.ValidationBudget,
@@ -115,10 +128,11 @@ const maxRuns = 64
 // program fingerprint (which already covers the full instruction stream,
 // layout, and flow facts) and every option that changes the numbers. The
 // leading version tag invalidates the scheme wholesale when the encoding
-// or the pipeline semantics change.
+// or the pipeline semantics change. The replacement policy is part of the
+// address: two requests differing only in policy must never share a result.
 func cacheKey(fp string, cfg cache.Config, tech energy.Tech, runs, budget int) string {
-	h := sha256.Sum256(fmt.Appendf(nil, "ucp-v1|%s|%d|%d|%d|%s|%d|%d",
-		fp, cfg.Assoc, cfg.BlockBytes, cfg.CapacityBytes, tech, runs, budget))
+	h := sha256.Sum256(fmt.Appendf(nil, "ucp-v1|%s|%d|%d|%d|%s|%d|%d|%s",
+		fp, cfg.Assoc, cfg.BlockBytes, cfg.CapacityBytes, tech, runs, budget, cfg.Policy))
 	return hex.EncodeToString(h[:])
 }
 
@@ -133,11 +147,13 @@ func (s *Server) analyze(uc useCase) (res Result, cached bool, err error) {
 
 	start := time.Now()
 	cell, err := experiment.RunCell(uc.bench, uc.cfgIdx, uc.tech, experiment.Options{
+		Policy:           uc.cfg.Policy,
 		Runs:             uc.runs,
 		ValidationBudget: uc.budget,
 		SkipReduced:      true,
 	})
 	s.metrics.observeAnalysis(time.Since(start), err == nil)
+	s.metrics.countPolicy(uc.cfg.Policy.String())
 	if err != nil {
 		// The pipeline is total over the suite, so this is unexpected;
 		// it is not a cacheable result either way.
@@ -150,6 +166,7 @@ func (s *Server) analyze(uc useCase) (res Result, cached bool, err error) {
 		Assoc:         cell.Cfg.Assoc,
 		BlockBytes:    cell.Cfg.BlockBytes,
 		CapacityBytes: cell.Cfg.CapacityBytes,
+		Policy:        cell.Cfg.Policy.String(),
 		Tech:          cell.Tech.String(),
 		Inserted:      cell.Inserted,
 		Cond3Reverted: cell.Cond3Reverted,

@@ -111,25 +111,38 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
-// configInfo is one /v1/configs entry.
+// configInfo is one /v1/configs entry. Policies lists the replacement
+// policies the configuration supports (every Table 2 associativity is a
+// power of two, so all three policies apply to all entries; the field keeps
+// clients from hard-coding that).
 type configInfo struct {
-	Label         string `json:"label"`
-	Assoc         int    `json:"assoc"`
-	BlockBytes    int    `json:"block_bytes"`
-	CapacityBytes int    `json:"capacity_bytes"`
-	Sets          int    `json:"sets"`
+	Label         string   `json:"label"`
+	Assoc         int      `json:"assoc"`
+	BlockBytes    int      `json:"block_bytes"`
+	CapacityBytes int      `json:"capacity_bytes"`
+	Sets          int      `json:"sets"`
+	Policies      []string `json:"policies"`
 }
 
 func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 	cfgs := cache.Table2()
 	out := make([]configInfo, 0, len(cfgs))
 	for i, c := range cfgs {
+		var policies []string
+		for _, p := range cache.Policies() {
+			pc := c
+			pc.Policy = p
+			if pc.Valid() == nil {
+				policies = append(policies, p.String())
+			}
+		}
 		out = append(out, configInfo{
 			Label:         cache.ConfigID(i),
 			Assoc:         c.Assoc,
 			BlockBytes:    c.BlockBytes,
 			CapacityBytes: c.CapacityBytes,
 			Sets:          c.NumSets(),
+			Policies:      policies,
 		})
 	}
 	s.writeJSON(w, http.StatusOK, out)

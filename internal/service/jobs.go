@@ -7,13 +7,15 @@ import (
 	"time"
 )
 
-// SweepRequest submits a program × configuration × technology matrix. An
-// empty list selects the full axis (all 37 programs, all 36 Table 2
-// configurations, both technologies).
+// SweepRequest submits a program × configuration × technology × policy
+// matrix. An empty list selects the full axis (all 37 programs, all 36
+// Table 2 configurations, both technologies) — except Policies, where empty
+// means LRU only, so pre-existing sweeps keep their size and meaning.
 type SweepRequest struct {
 	Programs         []string `json:"programs,omitempty"`
 	Configs          []string `json:"configs,omitempty"`
 	Techs            []string `json:"techs,omitempty"`
+	Policies         []string `json:"policies,omitempty"`
 	Runs             int      `json:"runs,omitempty"`
 	ValidationBudget int      `json:"validation_budget,omitempty"`
 }
@@ -230,7 +232,11 @@ func (s *Server) resolveSweep(req SweepRequest) ([]useCase, error) {
 	if len(techs) == 0 {
 		techs = []string{"45nm", "32nm"}
 	}
-	total := len(programs) * len(configs) * len(techs)
+	policies := req.Policies
+	if len(policies) == 0 {
+		policies = []string{"lru"}
+	}
+	total := len(programs) * len(configs) * len(techs) * len(policies)
 	if total > maxSweepCells {
 		return nil, errorf(400, "sweep matrix has %d cells, limit %d", total, maxSweepCells)
 	}
@@ -238,17 +244,20 @@ func (s *Server) resolveSweep(req SweepRequest) ([]useCase, error) {
 	for _, p := range programs {
 		for _, c := range configs {
 			for _, t := range techs {
-				uc, err := s.resolve(AnalyzeRequest{
-					Program:          p,
-					Config:           c,
-					Tech:             t,
-					Runs:             req.Runs,
-					ValidationBudget: req.ValidationBudget,
-				})
-				if err != nil {
-					return nil, err
+				for _, pol := range policies {
+					uc, err := s.resolve(AnalyzeRequest{
+						Program:          p,
+						Config:           c,
+						Tech:             t,
+						Policy:           pol,
+						Runs:             req.Runs,
+						ValidationBudget: req.ValidationBudget,
+					})
+					if err != nil {
+						return nil, err
+					}
+					cases = append(cases, uc)
 				}
-				cases = append(cases, uc)
 			}
 		}
 	}

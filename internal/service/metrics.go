@@ -22,6 +22,7 @@ const latencyWindow = 1024
 type metrics struct {
 	mu        sync.Mutex
 	byRoute   map[string]int64
+	byPolicy  map[string]int64       // executed analyses by replacement policy
 	analyses  int64                  // analyses actually executed (cache misses that ran)
 	failures  int64                  // executed analyses that returned an error
 	latencies [latencyWindow]float64 // seconds
@@ -30,13 +31,20 @@ type metrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{byRoute: map[string]int64{}}
+	return &metrics{byRoute: map[string]int64{}, byPolicy: map[string]int64{}}
 }
 
 // countRequest bumps the per-route request counter.
 func (m *metrics) countRequest(route string) {
 	m.mu.Lock()
 	m.byRoute[route]++
+	m.mu.Unlock()
+}
+
+// countPolicy bumps the per-replacement-policy analysis counter.
+func (m *metrics) countPolicy(policy string) {
+	m.mu.Lock()
+	m.byPolicy[policy]++
 	m.mu.Unlock()
 }
 
@@ -90,6 +98,15 @@ func (s *Server) renderMetrics(w io.Writer) error {
 		ew.printf("ucp_requests_total{route=%q} %d\n", r, s.metrics.byRoute[r])
 	}
 	analyses, failures := s.metrics.analyses, s.metrics.failures
+	policies := make([]string, 0, len(s.metrics.byPolicy))
+	for p := range s.metrics.byPolicy {
+		policies = append(policies, p)
+	}
+	sort.Strings(policies)
+	policyCounts := make([]int64, len(policies))
+	for i, p := range policies {
+		policyCounts[i] = s.metrics.byPolicy[p]
+	}
 	s.metrics.mu.Unlock()
 
 	hits, misses, entries := s.cache.stats()
@@ -104,6 +121,11 @@ func (s *Server) renderMetrics(w io.Writer) error {
 	ew.printf("ucp_analyses_total %d\n", analyses)
 	ew.head("ucp_analysis_failures_total", "counter", "Executed analyses that returned an error.")
 	ew.printf("ucp_analysis_failures_total %d\n", failures)
+
+	ew.head("ucp_analysis_policy_total", "counter", "Executed analyses by cache replacement policy.")
+	for i, p := range policies {
+		ew.printf("ucp_analysis_policy_total{policy=%q} %d\n", p, policyCounts[i])
+	}
 
 	// Incremental-analysis effectiveness: inside every optimizer run, how
 	// many WCET re-validations were served from the previous fixpoint

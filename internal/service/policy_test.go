@@ -1,0 +1,143 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPolicyAnalyze runs the same cheap use case under two policies: both
+// must produce complete results, echo their policy, and address the result
+// cache under different keys.
+func TestPolicyAnalyze(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+
+	results := map[string]analyzeResponse{}
+	for _, pol := range []string{"lru", "fifo"} {
+		body := `{"program":"fibcall","config":"k1","tech":"45nm","runs":1,"validation_budget":20,"policy":"` + pol + `"}`
+		resp, b := postJSON(t, ts.URL+"/v1/analyze", body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s analyze: status %d: %s", pol, resp.StatusCode, b)
+		}
+		var r analyzeResponse
+		if err := json.Unmarshal(b, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Policy != pol {
+			t.Errorf("echoed policy = %q, want %q", r.Policy, pol)
+		}
+		if r.WCETOrig <= 0 || r.ACETOrig <= 0 || r.EnergyOrigPJ <= 0 {
+			t.Errorf("%s: degenerate measurements: %+v", pol, r.Result)
+		}
+		results[pol] = r
+	}
+	if results["lru"].CacheKey == results["fifo"].CacheKey {
+		t.Error("policy must be part of the cache key; lru and fifo collided")
+	}
+
+	// An omitted policy field and an explicit "lru" are the same use case.
+	resp, b := postJSON(t, ts.URL+"/v1/analyze",
+		`{"program":"fibcall","config":"k1","tech":"45nm","runs":1,"validation_budget":20}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("default-policy analyze: status %d: %s", resp.StatusCode, b)
+	}
+	var def analyzeResponse
+	if err := json.Unmarshal(b, &def); err != nil {
+		t.Fatal(err)
+	}
+	if !def.Cached || def.CacheKey != results["lru"].CacheKey {
+		t.Errorf("omitted policy should hit the lru cache entry (cached=%v, key match=%v)",
+			def.Cached, def.CacheKey == results["lru"].CacheKey)
+	}
+
+	_, mbody := getBody(t, ts.URL+"/metrics")
+	m := string(mbody)
+	for _, want := range []string{
+		`ucp_analysis_policy_total{policy="lru"} 1`,
+		`ucp_analysis_policy_total{policy="fifo"} 1`,
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
+func TestPolicyAnalyzeRejectsUnknown(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze",
+		`{"program":"fibcall","config":"k1","tech":"45nm","policy":"random"}`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "policy") {
+		t.Fatalf("error should name the policy: %s", body)
+	}
+}
+
+// Every Table 2 associativity is a power of two, so /v1/configs must
+// advertise all three policies on every entry.
+func TestPolicyConfigsAdvertisePolicies(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+	_, body := getBody(t, ts.URL+"/v1/configs")
+	var cfgs []configInfo
+	if err := json.Unmarshal(body, &cfgs); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cfgs {
+		if len(c.Policies) != 3 {
+			t.Errorf("%s advertises %v; want lru, fifo, plru", c.Label, c.Policies)
+		}
+	}
+}
+
+// A sweep with an explicit policy axis multiplies the matrix; an omitted
+// axis stays LRU-only so pre-existing sweeps keep their size.
+func TestPolicySweepAxis(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/sweep",
+		`{"programs":["fibcall"],"configs":["k1"],"techs":["45nm"],"policies":["lru","fifo","plru"],"runs":1,"validation_budget":20}`)
+	if resp.StatusCode != 202 {
+		t.Fatalf("sweep: status %d: %s", resp.StatusCode, body)
+	}
+	var accepted struct {
+		JobID     string `json:"job_id"`
+		Cells     int    `json:"cells"`
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.Cells != 3 {
+		t.Fatalf("cells = %d, want 3 (one per policy)", accepted.Cells)
+	}
+	st := pollJob(t, ts.URL+accepted.StatusURL)
+	if st.State != "done" {
+		t.Fatalf("job state = %s (%s)", st.State, st.Error)
+	}
+	seen := map[string]bool{}
+	for _, r := range st.Results {
+		seen[r.Policy] = true
+	}
+	if !seen["lru"] || !seen["fifo"] || !seen["plru"] {
+		t.Fatalf("sweep results cover %v; want all three policies", seen)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/sweep",
+		`{"programs":["fibcall"],"configs":["k1"],"techs":["45nm"],"runs":1,"validation_budget":20}`)
+	if resp.StatusCode != 202 {
+		t.Fatalf("default sweep: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.Cells != 1 {
+		t.Fatalf("default sweep cells = %d, want 1 (policy axis defaults to lru only)", accepted.Cells)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/sweep",
+		`{"programs":["fibcall"],"configs":["k1"],"techs":["45nm"],"policies":["bogus"]}`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("bogus policy sweep: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+}

@@ -42,6 +42,11 @@ type Options struct {
 	// goes to memory without allocating (the cache-locking baseline of
 	// Section 2.2).
 	Locked map[uint64]bool
+	// OnFetch, when non-nil, observes every demand instruction fetch with
+	// its static reference and whether it hit the cache (a stall on an
+	// in-flight fill counts as a hit). The cross-layer soundness tests use
+	// it to check classifications against concrete behavior per reference.
+	OnFetch func(ref isa.InstrRef, hit bool)
 }
 
 // Stats aggregates the events of all runs.
@@ -225,6 +230,9 @@ func (m *machine) execBlock(b *isa.Block, loopIters map[int]int) {
 		pc := m.lay.Addr(ref)
 		blk := pc / uint64(m.cfg.BlockBytes)
 		hit := m.fetch(blk)
+		if m.o.OnFetch != nil {
+			m.o.OnFetch(ref, hit)
+		}
 
 		m.stats.Fetches++
 		if in.Kind == isa.KindPrefetch {

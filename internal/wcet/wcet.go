@@ -85,6 +85,9 @@ func AnalyzeX(x *vivu.Prog, cfg cache.Config, par Params) (*Result, error) {
 	if err := par.Valid(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Valid(); err != nil {
+		return nil, err
+	}
 	statFull.Add(1)
 	lay := isa.NewLayout(x.Prog)
 	ai := absint.Analyze(x, lay, cfg, int(par.Lambda))

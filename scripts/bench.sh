@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Runs the analysis micro-benchmarks with -benchmem and records name,
-# ns/op, and allocs/op in BENCH_PR2.json so the performance trajectory is
-# tracked in-repo. Override the measurement length for a CI smoke run:
+# ns/op, and allocs/op in BENCH_PR3.json so the performance trajectory is
+# tracked in-repo. BenchmarkFigure3Policy runs the Figure 3 sub-sweep once
+# per replacement policy (lru, fifo, plru), so the JSON carries one row per
+# policy. Override the measurement length for a CI smoke run:
 #
 #   BENCHTIME=1x ./scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
-PATTERN="${PATTERN:-^(BenchmarkAnalyzeXFull|BenchmarkAnalyzeXIncremental|BenchmarkStateClone|BenchmarkStateJoin|BenchmarkFigure3)$}"
-OUT="${OUT:-BENCH_PR2.json}"
+PATTERN="${PATTERN:-^(BenchmarkAnalyzeXFull|BenchmarkAnalyzeXIncremental|BenchmarkStateClone|BenchmarkStateJoin|BenchmarkFigure3|BenchmarkFigure3Policy)$}"
+OUT="${OUT:-BENCH_PR3.json}"
 
 raw=$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count=1 .)
 echo "$raw"
