@@ -7,6 +7,7 @@ package ucp
 // in minutes on one core; `cmd/ucp-bench -all` runs the full 37×36×2 sweep.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -157,7 +158,7 @@ func BenchmarkAblationHardwarePrefetch(b *testing.B) {
 			s := sim.Run(prog.Prog, cfg, sim.Options{Par: par, Runs: 1, Seed: 3, HW: hw})
 			fmt.Fprintf(out, "%-18s missrate=%5.2f%% dram=%d\n", hw.Name(), 100*s.MissRate(), s.DRAMReads)
 		}
-		opt, _, err := core.Optimize(prog.Prog, cfg, core.Options{Par: par, ValidationBudget: 120})
+		opt, _, err := core.Optimize(context.Background(), prog.Prog, cfg, core.Options{Par: par, ValidationBudget: 120})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func BenchmarkAblationLocking(b *testing.B) {
 	par := mdl.WCETParams()
 	out := benchOut(b)
 	for i := 0; i < b.N; i++ {
-		sel, err := locking.Select(prog.Prog, cfg, par)
+		sel, err := locking.Select(context.Background(), prog.Prog, cfg, par)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -207,7 +208,7 @@ func BenchmarkAblationCriterion(b *testing.B) {
 	out := benchOut(b)
 	for i := 0; i < b.N; i++ {
 		for _, v := range variants {
-			_, rep, err := core.Optimize(prog.Prog, cfg, v.opt)
+			_, rep, err := core.Optimize(context.Background(), prog.Prog, cfg, v.opt)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -256,7 +257,7 @@ func BenchmarkAbstractInterpretation(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		absint.Analyze(x, lay, cfg, 16)
+		absint.Analyze(context.Background(), x, lay, cfg, 16)
 	}
 }
 
@@ -274,7 +275,7 @@ func BenchmarkAnalyzeXFull(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := wcet.AnalyzeX(x, cfg, par); err != nil {
+		if _, err := wcet.AnalyzeX(context.Background(), x, cfg, par); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -307,7 +308,7 @@ func BenchmarkAnalyzeXIncremental(b *testing.B) {
 	par := wcet.Params{HitCycles: 1, MissPenalty: 16, Lambda: 16}
 	anchor := benchIncrementalAnchor(prog)
 	target := isa.InstrRef{Block: prog.Blocks[0].ID, Index: 0}
-	prev, err := wcet.AnalyzeX(x, cfg, par)
+	prev, err := wcet.AnalyzeX(context.Background(), x, cfg, par)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -319,7 +320,7 @@ func BenchmarkAnalyzeXIncremental(b *testing.B) {
 		} else {
 			prog.RemoveInstr(anchor)
 		}
-		prev, err = wcet.AnalyzeXFrom(x, cfg, par, prev)
+		prev, err = wcet.AnalyzeXFrom(context.Background(), x, cfg, par, prev)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -350,7 +351,11 @@ func BenchmarkStateClone(b *testing.B) {
 	}
 	lay := isa.NewLayout(p.Prog)
 	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 1024}
-	st := densestState(absint.Analyze(x, lay, cfg, 16))
+	res, err := absint.Analyze(context.Background(), x, lay, cfg, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := densestState(res)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -366,7 +371,10 @@ func BenchmarkStateJoin(b *testing.B) {
 	}
 	lay := isa.NewLayout(p.Prog)
 	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 1024}
-	res := absint.Analyze(x, lay, cfg, 16)
+	res, err := absint.Analyze(context.Background(), x, lay, cfg, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
 	a := densestState(res)
 	c := res.In[x.Entry]
 	for _, st := range res.In {
@@ -387,7 +395,7 @@ func BenchmarkWCETStructural(b *testing.B) {
 	par := wcet.Params{HitCycles: 1, MissPenalty: 16, Lambda: 16}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := wcet.Analyze(p.Prog, cfg, par); err != nil {
+		if _, err := wcet.Analyze(context.Background(), p.Prog, cfg, par); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -397,7 +405,7 @@ func BenchmarkIPETILP(b *testing.B) {
 	p, _ := malardalen.ByName("ludcmp")
 	par := wcet.Params{HitCycles: 1, MissPenalty: 16, Lambda: 16}
 	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 512}
-	res, err := wcet.Analyze(p.Prog, cfg, par)
+	res, err := wcet.Analyze(context.Background(), p.Prog, cfg, par)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -441,7 +449,7 @@ func BenchmarkOptimizeMid(b *testing.B) {
 	par := energy.NewModel(cfg, energy.Tech45).WCETParams()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.Optimize(p.Prog, cfg, core.Options{Par: par, ValidationBudget: 120}); err != nil {
+		if _, _, err := core.Optimize(context.Background(), p.Prog, cfg, core.Options{Par: par, ValidationBudget: 120}); err != nil {
 			b.Fatal(err)
 		}
 	}

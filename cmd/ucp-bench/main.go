@@ -11,14 +11,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ucp/internal/cliutil"
 	"ucp/internal/experiment"
+	"ucp/internal/interrupt"
 )
 
 func main() {
@@ -78,9 +83,21 @@ func main() {
 		opts.Progress = os.Stderr
 	}
 
+	// SIGINT/SIGTERM cancel the sweep cooperatively: in-flight cells unwind
+	// at their next cancellation check, no partial results are rendered, and
+	// the exit code is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	suite, err := experiment.Run(opts)
-	exitOn(err)
+	suite, err := experiment.Sweep(ctx, opts)
+	if err != nil {
+		if errors.Is(err, interrupt.ErrCanceled) || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ucp-bench: interrupted — sweep aborted, partial results discarded")
+			os.Exit(130)
+		}
+		exitOn(err)
+	}
 
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)

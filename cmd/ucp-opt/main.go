@@ -8,13 +8,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"ucp/internal/cliutil"
 	"ucp/internal/core"
 	"ucp/internal/energy"
+	"ucp/internal/interrupt"
 	"ucp/internal/isa"
 )
 
@@ -44,9 +48,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM abort the optimization cooperatively: the current pass
+	// unwinds, nothing is emitted (the optimization is all-or-nothing), and
+	// the exit code is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	mdl := energy.NewModel(cfg, tn)
-	opt, rep, err := core.Optimize(prog, cfg, core.Options{Par: mdl.WCETParams(), ValidationBudget: *budget})
+	opt, rep, err := core.Optimize(ctx, prog, cfg, core.Options{Par: mdl.WCETParams(), ValidationBudget: *budget})
 	if err != nil {
+		if interrupt.Is(err) {
+			fmt.Fprintln(os.Stderr, "ucp-opt: interrupted — optimization aborted, no output produced")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "optimize:", err)
 		os.Exit(1)
 	}

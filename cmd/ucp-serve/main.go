@@ -89,6 +89,9 @@ func main() {
 	}
 
 	logger.Info("shutting down", "drain", *drain)
+	// Flip /readyz to 503 and cancel running sweep jobs first, so in-flight
+	// cells start unwinding while the listener drains its last requests.
+	svc.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -97,7 +100,7 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("serve", "err", err)
 	}
-	// Cancel running sweep jobs and wait for their goroutines.
+	// Wait for the job goroutines to exit.
 	svc.Close()
 	logger.Info("bye")
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -65,7 +66,7 @@ func main() {
 	orig := sim.Run(b.Prog, cfg, base)
 	report("original", orig)
 
-	opt, rep, err := core.Optimize(b.Prog, cfg, core.Options{Par: par})
+	opt, rep, err := core.Optimize(context.Background(), b.Prog, cfg, core.Options{Par: par})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "optimize:", err)
 		os.Exit(1)
@@ -94,7 +95,7 @@ func main() {
 	}
 
 	if *locked {
-		sel, err := locking.Select(b.Prog, cfg, par)
+		sel, err := locking.Select(context.Background(), b.Prog, cfg, par)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "locking:", err)
 			os.Exit(1)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -47,7 +48,7 @@ func main() {
 	}
 
 	mdl := energy.NewModel(cfg, tn)
-	res, err := wcet.Analyze(b.Prog, cfg, mdl.WCETParams())
+	res, err := wcet.Analyze(context.Background(), b.Prog, cfg, mdl.WCETParams())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)

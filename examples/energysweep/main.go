@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -35,7 +36,7 @@ func main() {
 		mdl := energy.NewModel(cfg, energy.Tech45)
 		par := mdl.WCETParams()
 
-		opt, rep, err := core.Optimize(b.Prog, cfg, core.Options{Par: par})
+		opt, rep, err := core.Optimize(context.Background(), b.Prog, cfg, core.Options{Par: par})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,13 +33,13 @@ func main() {
 	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 256}
 	par := wcet.Params{HitCycles: 1, MissPenalty: 16, Lambda: 16}
 
-	before, err := wcet.Analyze(task, cfg, par)
+	before, err := wcet.Analyze(context.Background(), task, cfg, par)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("original:  τ_w = %d cycles, %d WCET-scenario misses\n", before.TauW, before.Misses)
 
-	optimized, report, err := core.Optimize(task, cfg, core.Options{Par: par})
+	optimized, report, err := core.Optimize(context.Background(), task, cfg, core.Options{Par: par})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,11 +47,11 @@ func main() {
 		mdl := energy.NewModel(tk.slice, energy.Tech32)
 		par := mdl.WCETParams()
 
-		before, err := wcet.Analyze(b.Prog, tk.slice, par)
+		before, err := wcet.Analyze(context.Background(), b.Prog, tk.slice, par)
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, rep, err := core.Optimize(b.Prog, tk.slice, core.Options{Par: par})
+		_, rep, err := core.Optimize(context.Background(), b.Prog, tk.slice, core.Options{Par: par})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 		orig := sim.Run(b.Prog, full, sim.Options{Par: mFull.WCETParams(), Seed: 9, Runs: 3})
 		eOrig := mFull.Energy(orig.Account()).TotalPJ()
 
-		opt, rep, err := core.Optimize(b.Prog, half, core.Options{Par: mHalf.WCETParams()})
+		opt, rep, err := core.Optimize(context.Background(), b.Prog, half, core.Options{Par: mHalf.WCETParams()})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -23,9 +23,12 @@
 package absint
 
 import (
+	"context"
 	"sort"
 
 	"ucp/internal/cache"
+	"ucp/internal/faults"
+	"ucp/internal/interrupt"
 	"ucp/internal/isa"
 	"ucp/internal/vivu"
 )
@@ -639,6 +642,8 @@ type analyzer struct {
 	res *Result
 	ops [][]opRec
 	sp  *statePool
+	ctx context.Context
+	chk *interrupt.Checker
 
 	// Fixpoint slots. out[id] is the current exit state of block id (nil =
 	// bottom); ownOut marks states created by this call (recyclable through
@@ -655,10 +660,18 @@ type analyzer struct {
 	scrA, scrB, empty *State
 }
 
+// checkInterval is how many fixpoint steps pass between context polls: the
+// amortized cancellation check costs a counter increment on the hot path and
+// still reacts to cancellation within a few microseconds of work.
+const checkInterval = 256
+
 // Analyze runs the must/may fixpoint for the expanded program x laid out by
 // lay on cache configuration cfg, with a prefetch latency of lambda cycles.
-func Analyze(x *vivu.Prog, lay *isa.Layout, cfg cache.Config, lambda int) *Result {
-	return analyze(x, lay, cfg, lambda, nil)
+// Cancelling ctx aborts the fixpoint cooperatively: the call returns a typed
+// interrupt error (interrupt.ErrCanceled / interrupt.ErrDeadline) and no
+// Result.
+func Analyze(ctx context.Context, x *vivu.Prog, lay *isa.Layout, cfg cache.Config, lambda int) (*Result, error) {
+	return analyze(ctx, x, lay, cfg, lambda, nil)
 }
 
 // transferInto pushes src through the instruction sequence of expanded block
@@ -751,9 +764,18 @@ func (a *analyzer) processBlock(id int) bool {
 //
 // Components with no dirty member are skipped entirely: their equations and
 // inputs are unchanged, so the seeded previous values are already final.
-func (a *analyzer) solve(plan *sccPlan) {
+//
+// The fixpoint is interruptible: the amortized checker is polled once per
+// component and once per cyclic convergence round, so a canceled context
+// unwinds the solve within one round. An aborted solve leaves the seed
+// result (prev) untouched — seeded states are shared, never mutated, never
+// recycled — so the caller's previous Result stays valid for a later retry.
+func (a *analyzer) solve(plan *sccPlan) error {
 	var stash []*State
 	for ci, comp := range plan.comps {
+		if err := a.chk.Check(); err != nil {
+			return err
+		}
 		if !plan.cyclic[ci] {
 			id := comp[0]
 			if a.dirty[id] && a.processBlock(id) {
@@ -782,6 +804,12 @@ func (a *analyzer) solve(plan *sccPlan) {
 			a.dirty[id] = true
 		}
 		for changed := true; changed; {
+			if err := a.chk.Check(); err != nil {
+				return err
+			}
+			if err := faults.Fire(a.ctx, "absint.round", ""); err != nil {
+				return err
+			}
 			changed = false
 			for _, id := range comp {
 				if a.dirty[id] && a.processBlock(id) {
@@ -807,6 +835,7 @@ func (a *analyzer) solve(plan *sccPlan) {
 			}
 		}
 	}
+	return nil
 }
 
 // classify records the in-state and the per-reference classification of

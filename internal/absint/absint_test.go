@@ -1,11 +1,14 @@
 package absint
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"ucp/internal/cache"
+	"ucp/internal/interrupt"
 	"ucp/internal/isa"
 	"ucp/internal/vivu"
 )
@@ -17,6 +20,15 @@ func mustExpand(t *testing.T, p *isa.Program) (*vivu.Prog, *isa.Layout) {
 		t.Fatal(err)
 	}
 	return x, isa.NewLayout(p)
+}
+
+func testAnalyze(t *testing.T, x *vivu.Prog, lay *isa.Layout, cfg cache.Config, lambda int) *Result {
+	t.Helper()
+	res, err := Analyze(context.Background(), x, lay, cfg, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestMustUpdateAges(t *testing.T) {
@@ -93,13 +105,54 @@ func TestClassifyColdStart(t *testing.T) {
 	}
 }
 
+func TestAnalyzeCanceled(t *testing.T) {
+	p := isa.Build("loop", isa.Loop(10, 8, isa.Code(4)))
+	x, lay := mustExpand(t, p)
+	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 512}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Analyze(ctx, x, lay, cfg, 10)
+	if res != nil || err == nil {
+		t.Fatalf("Analyze on canceled ctx = (%v, %v), want (nil, error)", res, err)
+	}
+	if !errors.Is(err, interrupt.ErrCanceled) {
+		t.Fatalf("err = %v, want interrupt.ErrCanceled", err)
+	}
+}
+
+func TestAnalyzeFromAbortLeavesPrevUsable(t *testing.T) {
+	// An aborted incremental re-analysis must not corrupt the seed result:
+	// a later retry from the same prev must still yield the full answer.
+	p := isa.Build("loop", isa.Loop(10, 8, isa.Code(4)))
+	x, lay := mustExpand(t, p)
+	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 512}
+	prev := testAnalyze(t, x, lay, cfg, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res, err := AnalyzeFrom(ctx, x, lay, cfg, 10, prev); res != nil || err == nil {
+		t.Fatalf("aborted AnalyzeFrom = (%v, %v), want (nil, error)", res, err)
+	}
+	retry, err := AnalyzeFrom(context.Background(), x, lay, cfg, 10, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testAnalyze(t, x, lay, cfg, 10)
+	for id := range want.Class {
+		for i := range want.Class[id] {
+			if retry.Class[id][i] != want.Class[id][i] {
+				t.Fatalf("block %d ref %d: retry %v, want %v", id, i, retry.Class[id][i], want.Class[id][i])
+			}
+		}
+	}
+}
+
 func TestLoopFirstMissRestHit(t *testing.T) {
 	// A loop whose body fits comfortably in cache: the R-context refs must
 	// classify always-hit, the F-context refs always-miss (cold start).
 	p := isa.Build("loop", isa.Loop(10, 8, isa.Code(4)))
 	x, lay := mustExpand(t, p)
 	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 512}
-	res := Analyze(x, lay, cfg, 10)
+	res := testAnalyze(t, x, lay, cfg, 10)
 	for _, xb := range x.Blocks {
 		for i, cl := range res.Class[xb.ID] {
 			switch {
@@ -130,7 +183,7 @@ func TestConflictingLoopNotAllHits(t *testing.T) {
 	p := isa.Build("big", isa.Loop(10, 8, isa.Code(600)))
 	x, lay := mustExpand(t, p)
 	cfg := cache.Config{Assoc: 1, BlockBytes: 16, CapacityBytes: 256}
-	res := Analyze(x, lay, cfg, 10)
+	res := testAnalyze(t, x, lay, cfg, 10)
 	misses := 0
 	for _, xb := range x.Blocks {
 		if len(xb.Ctx) == 0 || xb.Ctx[len(xb.Ctx)-1] != 'R' {
@@ -254,7 +307,7 @@ func TestClassificationSoundness(t *testing.T) {
 				t.Fatal(err)
 			}
 			lay := isa.NewLayout(p)
-			res := Analyze(x, lay, cfg, 10)
+			res := testAnalyze(t, x, lay, cfg, 10)
 
 			// classOf(block, index, firstIter) — join classifications over
 			// all matching contexts (conservative check: if ANY context
@@ -387,11 +440,11 @@ func TestEffectivenessDistance(t *testing.T) {
 	lay := isa.NewLayout(p)
 	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 128}
 
-	resShort := Analyze(x, lay, cfg, 4)
+	resShort := testAnalyze(t, x, lay, cfg, 4)
 	if !resShort.Effective[x.Topo[0]][1] {
 		t.Fatal("prefetch 29+ instructions ahead should hide a 4-cycle latency")
 	}
-	resLong := Analyze(x, lay, cfg, 1000)
+	resLong := testAnalyze(t, x, lay, cfg, 1000)
 	if resLong.Effective[x.Topo[0]][1] {
 		t.Fatal("a 1000-cycle latency cannot hide in 29 instructions")
 	}
@@ -411,7 +464,7 @@ func TestPersistenceFirstMissClassification(t *testing.T) {
 	)
 	x, lay := mustExpand(t, p)
 	cfg := cache.Config{Assoc: 4, BlockBytes: 16, CapacityBytes: 1024}
-	res := Analyze(x, lay, cfg, 10)
+	res := testAnalyze(t, x, lay, cfg, 10)
 	fm := 0
 	for _, xb := range x.Blocks {
 		if len(xb.Ctx) == 0 || xb.Ctx[len(xb.Ctx)-1] != 'R' {

@@ -1,7 +1,10 @@
 package absint
 
 import (
+	"context"
+
 	"ucp/internal/cache"
+	"ucp/internal/interrupt"
 	"ucp/internal/isa"
 	"ucp/internal/vivu"
 )
@@ -37,17 +40,25 @@ import (
 // bit-identical to Analyze on the mutated program. prev must come from an
 // Analyze/AnalyzeFrom call on the same expanded program (the expansion is
 // structural, so in-place instruction edits keep it valid); when prev is
-// nil or incompatible the call degrades to a full analysis.
-func AnalyzeFrom(x *vivu.Prog, lay *isa.Layout, cfg cache.Config, lambda int, prev *Result) *Result {
+// nil or incompatible the call degrades to a full analysis. An aborted call
+// (canceled ctx) returns a typed interrupt error and leaves prev fully
+// usable for a later retry.
+func AnalyzeFrom(ctx context.Context, x *vivu.Prog, lay *isa.Layout, cfg cache.Config, lambda int, prev *Result) (*Result, error) {
 	if prev == nil || prev.X != x || prev.Cfg != cfg || prev.lambda != lambda {
 		prev = nil
 	}
-	return analyze(x, lay, cfg, lambda, prev)
+	return analyze(ctx, x, lay, cfg, lambda, prev)
 }
 
 // analyze is the shared implementation behind Analyze (prev == nil) and
 // AnalyzeFrom.
-func analyze(x *vivu.Prog, lay *isa.Layout, cfg cache.Config, lambda int, prev *Result) *Result {
+func analyze(ctx context.Context, x *vivu.Prog, lay *isa.Layout, cfg cache.Config, lambda int, prev *Result) (*Result, error) {
+	// The amortized checker only polls every checkInterval steps, which a
+	// small (or fully clean incremental) analysis may never reach; the
+	// upfront check guarantees an already-dead context is always honored.
+	if err := interrupt.Cause(ctx); err != nil {
+		return nil, err
+	}
 	n := len(x.Blocks)
 	res := &Result{
 		X:         x,
@@ -67,7 +78,10 @@ func analyze(x *vivu.Prog, lay *isa.Layout, cfg cache.Config, lambda int, prev *
 		sc = newScratch(cfg)
 	}
 	res.scr = sc
-	a := &analyzer{x: x, cfg: cfg, res: res, sp: &sc.sp}
+	a := &analyzer{
+		x: x, cfg: cfg, res: res, sp: &sc.sp,
+		ctx: ctx, chk: interrupt.NewChecker(ctx, checkInterval),
+	}
 
 	// Build the per-block transfer rows. In the incremental case the program
 	// was mutated in place, so the previous instructions are gone — the
@@ -192,7 +206,11 @@ func analyze(x *vivu.Prog, lay *isa.Layout, cfg cache.Config, lambda int, prev *
 	}
 	a.scrA, a.scrB = a.sp.get(), a.sp.get()
 	a.empty = sc.empty
-	a.solve(res.sccs)
+	if err := a.solve(res.sccs); err != nil {
+		a.sp.put(a.scrA)
+		a.sp.put(a.scrB)
+		return nil, err
+	}
 
 	// A block needs re-classification iff its transfer row changed or some
 	// predecessor's exit state changed (its in-state value moved); everything
@@ -216,6 +234,12 @@ func analyze(x *vivu.Prog, lay *isa.Layout, cfg cache.Config, lambda int, prev *
 	}
 	walk := a.sp.get()
 	for _, id := range x.Topo {
+		if err := a.chk.Check(); err != nil {
+			a.sp.put(walk)
+			a.sp.put(a.scrA)
+			a.sp.put(a.scrB)
+			return nil, err
+		}
 		if !full && !res.Changed[id] {
 			res.In[id] = prev.In[id]
 			res.Class[id] = prev.Class[id]
@@ -226,7 +250,7 @@ func analyze(x *vivu.Prog, lay *isa.Layout, cfg cache.Config, lambda int, prev *
 	a.sp.put(walk)
 	a.sp.put(a.scrA)
 	a.sp.put(a.scrB)
-	return res
+	return res, nil
 }
 
 // inState builds the converged in-state of block id: the single live

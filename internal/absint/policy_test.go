@@ -59,7 +59,7 @@ func TestPolicyClassificationSoundness(t *testing.T) {
 					t.Fatal(err)
 				}
 				lay := isa.NewLayout(p)
-				res := Analyze(x, lay, cfg, 10)
+				res := testAnalyze(t, x, lay, cfg, 10)
 
 				classOf := func(block, index int, iter int) Classification {
 					agg := Classification(255)

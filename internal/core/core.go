@@ -29,11 +29,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
 
 	"ucp/internal/cache"
+	"ucp/internal/interrupt"
 	"ucp/internal/isa"
 	"ucp/internal/vivu"
 	"ucp/internal/wcet"
@@ -96,7 +98,14 @@ type Report struct {
 
 // Optimize returns a prefetch-equivalent optimized copy of p for the given
 // cache configuration (Problem 1). The input program is not modified.
-func Optimize(p *isa.Program, cfg cache.Config, opt Options) (*isa.Program, *Report, error) {
+//
+// Optimize is cooperatively cancellable: when ctx is canceled or its
+// deadline passes, the current pass (reverse walk or validation analysis)
+// unwinds and the call returns a typed interrupt error with no program and
+// no report. A canceled optimization therefore never produces output —
+// Theorem 1 is all-or-nothing, there is no partially validated result to
+// misuse (see DESIGN.md §10).
+func Optimize(ctx context.Context, p *isa.Program, cfg cache.Config, opt Options) (*isa.Program, *Report, error) {
 	if err := opt.Par.Valid(); err != nil {
 		return nil, nil, err
 	}
@@ -113,7 +122,7 @@ func Optimize(p *isa.Program, cfg cache.Config, opt Options) (*isa.Program, *Rep
 		maxIns = p.NInstr()
 	}
 
-	res, err := wcet.AnalyzeX(x, cfg, opt.Par)
+	res, err := wcet.AnalyzeX(ctx, x, cfg, opt.Par)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -131,7 +140,11 @@ func Optimize(p *isa.Program, cfg cache.Config, opt Options) (*isa.Program, *Rep
 
 	bwCfg := cfg
 	bwCfg.Policy = cache.LRU
-	o := &optimizer{x: x, cfg: cfg, bwCfg: bwCfg, opt: opt, rep: rep, res: res, rejected: map[candidateKey]bool{}}
+	o := &optimizer{
+		x: x, cfg: cfg, bwCfg: bwCfg, opt: opt, rep: rep, res: res,
+		rejected: map[candidateKey]bool{},
+		ctx:      ctx, chk: interrupt.NewChecker(ctx, 64),
+	}
 	o.topoPos = make([]int, len(x.Blocks))
 	for i, id := range x.Topo {
 		o.topoPos[id] = i
@@ -143,7 +156,10 @@ func Optimize(p *isa.Program, cfg cache.Config, opt Options) (*isa.Program, *Rep
 
 	for rep.Inserted < maxIns && rep.Validations < o.budget {
 		rep.Passes++
-		cands := o.collect()
+		cands, err := o.collect()
+		if err != nil {
+			return nil, nil, err
+		}
 		if len(cands) == 0 {
 			break
 		}
@@ -207,6 +223,11 @@ type candidate struct {
 type optimizer struct {
 	x   *vivu.Prog
 	cfg cache.Config
+	// ctx and chk make the run cancellable: the reverse walk polls the
+	// amortized checker per expanded block, and every validation re-analysis
+	// passes ctx down to the fixpoint.
+	ctx context.Context
+	chk *interrupt.Checker
 	// bwCfg is cfg with the policy forced to LRU: the reverse walk's states
 	// encode next-use order *as* LRU order (Property 3 reads an eviction in
 	// them as "at least `associativity` distinct same-set blocks before the
@@ -258,8 +279,8 @@ type insertion struct {
 
 // collect runs one reverse-execution-order sweep (Algorithm 3) and returns
 // the prefetch candidates that pass every local check, most-downstream
-// first.
-func (o *optimizer) collect() []candidate {
+// first. The sweep polls the cancellation checker once per expanded block.
+func (o *optimizer) collect() ([]candidate, error) {
 	res := o.res
 	order := res.X.Topo
 	seen := map[candidateKey]bool{}
@@ -270,6 +291,9 @@ func (o *optimizer) collect() []candidate {
 	}
 	st := o.bwScratch
 	for ti := len(order) - 1; ti >= 0; ti-- {
+		if err := o.chk.Check(); err != nil {
+			return nil, err
+		}
 		xbID := order[ti]
 		if !res.OnWCETPath(xbID) {
 			continue
@@ -292,7 +316,7 @@ func (o *optimizer) collect() []candidate {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // screen applies the cheap parts of the joint improvement criterion
@@ -471,7 +495,7 @@ var testRefreshCheck func(*wcet.Result)
 // (see backward()), so replacing o.res invalidates it exactly once per
 // refresh.
 func (o *optimizer) refresh() error {
-	res, err := wcet.AnalyzeXFrom(o.x, o.cfg, o.opt.Par, o.res)
+	res, err := wcet.AnalyzeXFrom(o.ctx, o.x, o.cfg, o.opt.Par, o.res)
 	if err != nil {
 		return err
 	}

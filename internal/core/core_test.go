@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -13,9 +14,9 @@ var testPar = wcet.Params{HitCycles: 1, MissPenalty: 9, Lambda: 10}
 
 func optimize(t *testing.T, p *isa.Program, cfg cache.Config) (*isa.Program, *Report) {
 	t.Helper()
-	q, rep, err := Optimize(p, cfg, Options{Par: testPar})
+	q, rep, err := Optimize(context.Background(), p, cfg, Options{Par: testPar})
 	if err != nil {
-		t.Fatalf("Optimize(%s): %v", p.Name, err)
+		t.Fatalf("Optimize(context.Background(), %s): %v", p.Name, err)
 	}
 	return q, rep
 }
@@ -111,7 +112,7 @@ func TestTheorem1Property(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		p := randomProgram(rng, "t1")
 		for _, cfg := range cfgs {
-			q, rep, err := Optimize(p, cfg, Options{Par: testPar})
+			q, rep, err := Optimize(context.Background(), p, cfg, Options{Par: testPar})
 			if err != nil {
 				t.Fatalf("program %d: %v", i, err)
 			}
@@ -125,11 +126,11 @@ func TestTheorem1Property(t *testing.T) {
 				t.Fatalf("program %d: WCET misses increased", i)
 			}
 			// Independent re-verification with a fresh analysis.
-			before, err := wcet.Analyze(p, cfg, testPar)
+			before, err := wcet.Analyze(context.Background(), p, cfg, testPar)
 			if err != nil {
 				t.Fatal(err)
 			}
-			after, err := wcet.Analyze(q, cfg, testPar)
+			after, err := wcet.Analyze(context.Background(), q, cfg, testPar)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -186,7 +187,7 @@ func TestInputProgramUnmodified(t *testing.T) {
 
 func TestMaxInsertionsCap(t *testing.T) {
 	p := thrasher()
-	q, rep, err := Optimize(p, thrashCfg(), Options{Par: testPar, MaxInsertions: 2})
+	q, rep, err := Optimize(context.Background(), p, thrashCfg(), Options{Par: testPar, MaxInsertions: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestMaxInsertionsCap(t *testing.T) {
 
 func TestDisableValidationStillEquivalent(t *testing.T) {
 	p := thrasher()
-	q, _, err := Optimize(p, thrashCfg(), Options{Par: testPar, DisableValidation: true, MaxInsertions: 8})
+	q, _, err := Optimize(context.Background(), p, thrashCfg(), Options{Par: testPar, DisableValidation: true, MaxInsertions: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

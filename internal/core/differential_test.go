@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ucp/internal/cache"
@@ -20,7 +21,7 @@ func TestDifferentialRefreshMatchesFull(t *testing.T) {
 	checks := 0
 	testRefreshCheck = func(inc *wcet.Result) {
 		checks++
-		full, err := wcet.AnalyzeX(inc.X, inc.Cfg, inc.Par)
+		full, err := wcet.AnalyzeX(context.Background(), inc.X, inc.Cfg, inc.Par)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func TestDifferentialRefreshMatchesFull(t *testing.T) {
 		if !ok {
 			t.Fatalf("unknown program %s", tc.prog)
 		}
-		_, rep, err := Optimize(bm.Prog, configs[tc.cfg], Options{Par: par, ValidationBudget: 30})
+		_, rep, err := Optimize(context.Background(), bm.Prog, configs[tc.cfg], Options{Par: par, ValidationBudget: 30})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.prog, err)
 		}

@@ -20,6 +20,9 @@ import (
 // shaves its fetch time off τ_w.
 func (o *optimizer) pruneUseless() error {
 	for {
+		if err := o.chk.Check(); err != nil {
+			return err
+		}
 		refs := o.collectPrefetches()
 		if len(refs) == 0 {
 			return nil

@@ -15,6 +15,8 @@ import (
 	"ucp/internal/cache"
 	"ucp/internal/core"
 	"ucp/internal/energy"
+	"ucp/internal/faults"
+	"ucp/internal/interrupt"
 	"ucp/internal/isa"
 	"ucp/internal/malardalen"
 	"ucp/internal/pool"
@@ -144,9 +146,10 @@ func units(o Options) []unit {
 
 // Sweep executes the evaluation matrix, analyzing up to Options.Workers
 // cells concurrently through a bounded worker pool. Cancelling ctx stops
-// new cells from starting and returns the context's error; cells already
-// in flight run to completion. The returned Suite lists cells in
-// (program, config, technology) order regardless of completion order.
+// new cells from starting and aborts cells already in flight — every cell
+// analysis polls the context cooperatively — and returns a typed interrupt
+// error. The returned Suite lists cells in (program, config, technology)
+// order regardless of completion order.
 func Sweep(ctx context.Context, o Options) (*Suite, error) {
 	if o.Runs <= 0 {
 		o.Runs = 3
@@ -155,9 +158,9 @@ func Sweep(ctx context.Context, o Options) (*Suite, error) {
 	cells := make([]Cell, len(us))
 	var progressMu sync.Mutex
 	p := pool.New(o.Workers)
-	err := p.ForEach(ctx, len(us), func(_ context.Context, i int) error {
+	err := p.ForEach(ctx, len(us), func(ctx context.Context, i int) error {
 		u := us[i]
-		cell, err := RunCell(u.b, u.ci, u.tech, o)
+		cell, err := RunCell(ctx, u.b, u.ci, u.tech, o)
 		if err != nil {
 			return fmt.Errorf("experiment: %s/%s/%v: %w", u.b.Name, cache.ConfigID(u.ci), u.tech, err)
 		}
@@ -186,11 +189,16 @@ func ratio(a, b float64) float64 {
 	return a / b
 }
 
-// RunCell measures one use case.
-func RunCell(b malardalen.Benchmark, cfgIdx int, tech energy.Tech, o Options) (Cell, error) {
+// RunCell measures one use case. The analysis is cooperatively cancellable
+// through ctx; an interrupted cell returns a typed interrupt error and no
+// measurements.
+func RunCell(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energy.Tech, o Options) (Cell, error) {
 	cfg := cache.Table2()[cfgIdx]
 	cfg.Policy = o.Policy
 	if err := cfg.Valid(); err != nil {
+		return Cell{}, err
+	}
+	if err := faults.Fire(ctx, "experiment.cell", fmt.Sprintf("%s/%s/%v", b.Name, cache.ConfigID(cfgIdx), tech)); err != nil {
 		return Cell{}, err
 	}
 	mdl := energy.NewModel(cfg, tech)
@@ -203,7 +211,7 @@ func RunCell(b malardalen.Benchmark, cfgIdx int, tech energy.Tech, o Options) (C
 		Tech:     tech,
 	}
 
-	opt, rep, err := core.Optimize(b.Prog, cfg, core.Options{Par: par, ValidationBudget: o.ValidationBudget})
+	opt, rep, err := core.Optimize(ctx, b.Prog, cfg, core.Options{Par: par, ValidationBudget: o.ValidationBudget})
 	if err != nil {
 		return cell, err
 	}
@@ -251,11 +259,19 @@ func RunCell(b malardalen.Benchmark, cfgIdx int, tech energy.Tech, o Options) (C
 	// compare against the original binary on the full-size cache — the
 	// "smaller caches through prefetching" experiment.
 	if !o.SkipReduced {
-		if tau, acet, e, ok := reducedRun(b, cfg, 2, tech, o); ok {
+		tau, acet, e, ok, err := reducedRun(ctx, b, cfg, 2, tech, o)
+		if err != nil {
+			return cell, err
+		}
+		if ok {
 			cell.HasHalf = true
 			cell.TauHalf, cell.ACETHalf, cell.EnergyHalf = tau, acet, e
 		}
-		if tau, acet, e, ok := reducedRun(b, cfg, 4, tech, o); ok {
+		tau, acet, e, ok, err = reducedRun(ctx, b, cfg, 4, tech, o)
+		if err != nil {
+			return cell, err
+		}
+		if ok {
 			cell.HasQuarter = true
 			cell.TauQuarter, cell.ACETQuarter, cell.EnergyQuarter = tau, acet, e
 		}
@@ -264,24 +280,29 @@ func RunCell(b malardalen.Benchmark, cfgIdx int, tech energy.Tech, o Options) (C
 }
 
 // reducedRun optimizes the program for the shrunk configuration and
-// measures it there.
-func reducedRun(b malardalen.Benchmark, cfg cache.Config, factor int, tech energy.Tech, o Options) (tau int64, acet, energyPJ float64, ok bool) {
+// measures it there. A shrunk configuration that cannot be optimized is
+// reported as ok=false (the figure simply lacks the series) — except for
+// interruptions, which must stop the whole cell and therefore propagate.
+func reducedRun(ctx context.Context, b malardalen.Benchmark, cfg cache.Config, factor int, tech energy.Tech, o Options) (tau int64, acet, energyPJ float64, ok bool, err error) {
 	small, valid := shrink(cfg, factor)
 	if !valid {
-		return 0, 0, 0, false
+		return 0, 0, 0, false, nil
 	}
 	mdl := energy.NewModel(small, tech)
 	par := mdl.WCETParams()
-	opt, rep, err := core.Optimize(b.Prog, small, core.Options{Par: par, ValidationBudget: o.ValidationBudget})
+	opt, rep, err := core.Optimize(ctx, b.Prog, small, core.Options{Par: par, ValidationBudget: o.ValidationBudget})
 	if err != nil {
-		return 0, 0, 0, false
+		if interrupt.Is(err) {
+			return 0, 0, 0, false, err
+		}
+		return 0, 0, 0, false, nil
 	}
 	runs := o.Runs
 	if runs <= 0 {
 		runs = 3
 	}
 	s := sim.Run(opt, small, sim.Options{Par: par, Seed: 7, Runs: runs})
-	return rep.TauAfter, s.ACETCycles(), mdl.Energy(s.Account()).TotalPJ(), true
+	return rep.TauAfter, s.ACETCycles(), mdl.Energy(s.Account()).TotalPJ(), true, nil
 }
 
 func shrink(cfg cache.Config, factor int) (cache.Config, bool) {
@@ -294,9 +315,9 @@ func shrink(cfg cache.Config, factor int) (cache.Config, bool) {
 }
 
 // OptimizedProgram exposes the per-cell optimization for the CLI tools.
-func OptimizedProgram(b malardalen.Benchmark, cfgIdx int, tech energy.Tech, budget int, policy cache.Policy) (*isa.Program, *core.Report, error) {
+func OptimizedProgram(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energy.Tech, budget int, policy cache.Policy) (*isa.Program, *core.Report, error) {
 	cfg := cache.Table2()[cfgIdx]
 	cfg.Policy = policy
 	mdl := energy.NewModel(cfg, tech)
-	return core.Optimize(b.Prog, cfg, core.Options{Par: mdl.WCETParams(), ValidationBudget: budget})
+	return core.Optimize(ctx, b.Prog, cfg, core.Options{Par: mdl.WCETParams(), ValidationBudget: budget})
 }

@@ -84,7 +84,7 @@ func TestTables(t *testing.T) {
 
 func TestRunCellReducedCaches(t *testing.T) {
 	b, _ := malardalen.ByName("crc")
-	cell, err := RunCell(b, 13, energy.Tech45, Options{Runs: 1, ValidationBudget: 20}) // k14 = (2,16,1024)
+	cell, err := RunCell(context.Background(), b, 13, energy.Tech45, Options{Runs: 1, ValidationBudget: 20}) // k14 = (2,16,1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestRunCellReducedCaches(t *testing.T) {
 		t.Error("halving the cache should not speed the program up")
 	}
 	// k1 = (1,16,256): quarter = 64B, valid for assoc 1.
-	cellSmall, err := RunCell(b, 0, energy.Tech45, Options{Runs: 1, ValidationBudget: 20})
+	cellSmall, err := RunCell(context.Background(), b, 0, energy.Tech45, Options{Runs: 1, ValidationBudget: 20})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 // reject an unusable policy before any analysis runs.
 func TestPolicyRunCellValidates(t *testing.T) {
 	b, _ := malardalen.ByName("fibcall")
-	if _, err := RunCell(b, 0, energy.Tech45, Options{Policy: cache.Policy(9), Runs: 1}); err == nil {
+	if _, err := RunCell(context.Background(), b, 0, energy.Tech45, Options{Policy: cache.Policy(9), Runs: 1}); err == nil {
 		t.Fatal("RunCell accepted an unknown policy")
 	}
 }
@@ -22,7 +23,7 @@ func TestPolicyRunCellValidates(t *testing.T) {
 // there into the CSV policy column).
 func TestPolicyRunCellAndCSV(t *testing.T) {
 	b, _ := malardalen.ByName("fibcall")
-	cell, err := RunCell(b, 0, energy.Tech45, Options{
+	cell, err := RunCell(context.Background(), b, 0, energy.Tech45, Options{
 		Policy: cache.FIFO, Runs: 1, ValidationBudget: 20, SkipReduced: true,
 	})
 	if err != nil {

@@ -1,0 +1,247 @@
+// Package faults is a deterministic fault-injection harness for the
+// analysis execution layer. Hook points in the worker pool, the service,
+// the sweep engine, and the solvers call Fire with a site name and a key
+// (a cell index, a program name, or "" when the site has no natural
+// identity); when a matching rule is armed, the hook panics, delays,
+// hangs until cancellation, or returns an injected error — exactly where
+// a real pathological analysis would misbehave.
+//
+// The harness is disarmed by default and costs one atomic load per hook.
+// It arms only through Arm (tests) or the UCP_FAULTS environment variable
+// (CI matrix entries and manual chaos runs), so production binaries never
+// trip a fault by accident.
+//
+// Rule syntax (comma- or semicolon-separated list):
+//
+//	site:key=action[@count]
+//
+// where key is an exact match or "*", count bounds how often the rule
+// fires (default: unlimited), and action is one of
+//
+//	panic        panic at the hook
+//	err          return an injected error
+//	cancel       return a typed interrupt.ErrCanceled error
+//	delay:<dur>  sleep for <dur> (aborted early by context cancellation)
+//	hang         block until the hook's context is canceled — the
+//	             infinite-loop equivalent for timeout and drain tests
+//
+// Example:
+//
+//	UCP_FAULTS='pool.task:3=panic,experiment.cell:*=delay:50ms@2'
+//
+// Sites currently wired: pool.task (key = task index), service.analyze
+// (key = program name), experiment.cell (key = program/config/tech), and
+// absint.round (key = "", one hook per cyclic-component restart round).
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"ucp/internal/interrupt"
+)
+
+// Kind enumerates the injectable faults.
+type Kind uint8
+
+const (
+	// KindPanic panics at the hook.
+	KindPanic Kind = iota
+	// KindErr returns a generic injected error.
+	KindErr
+	// KindCancel returns a typed interrupt.ErrCanceled error.
+	KindCancel
+	// KindDelay sleeps for the rule's duration (context-interruptible).
+	KindDelay
+	// KindHang blocks until the hook's context is canceled.
+	KindHang
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindErr:
+		return "err"
+	case KindCancel:
+		return "cancel"
+	case KindDelay:
+		return "delay"
+	case KindHang:
+		return "hang"
+	default:
+		return fmt.Sprintf("Kind(%d)", k)
+	}
+}
+
+// rule is one armed fault.
+type rule struct {
+	key       string // exact key or "*"
+	kind      Kind
+	delay     time.Duration
+	remaining int64 // fires left; < 0 = unlimited
+}
+
+var (
+	armed atomic.Bool
+	mu    sync.Mutex
+	rules map[string][]*rule // site -> rules, matched in spec order
+	fired map[string]int64   // site -> hooks that actually injected
+)
+
+func init() {
+	if spec := os.Getenv("UCP_FAULTS"); spec != "" {
+		if err := Arm(spec); err != nil {
+			// A typo'd fault spec must not silently run a chaos test
+			// without its faults; fail loudly at startup.
+			panic(fmt.Sprintf("faults: bad UCP_FAULTS: %v", err))
+		}
+	}
+}
+
+// Armed reports whether any fault rules are installed.
+func Armed() bool { return armed.Load() }
+
+// Arm parses spec and installs its rules, replacing any previous set.
+func Arm(spec string) error {
+	parsed, err := parse(spec)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	rules = parsed
+	fired = map[string]int64{}
+	mu.Unlock()
+	armed.Store(len(parsed) > 0)
+	return nil
+}
+
+// Disarm removes every rule. Tests pair Arm with t.Cleanup(faults.Disarm).
+func Disarm() {
+	mu.Lock()
+	rules = nil
+	fired = nil
+	mu.Unlock()
+	armed.Store(false)
+}
+
+// Count returns how many times hooks at site actually injected a fault.
+func Count(site string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return fired[site]
+}
+
+// parse builds the rule table from the spec grammar above.
+func parse(spec string) (map[string][]*rule, error) {
+	out := map[string][]*rule{}
+	for _, ent := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ';' }) {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		lhs, action, ok := strings.Cut(ent, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: %q: want site:key=action", ent)
+		}
+		site, key, ok := strings.Cut(lhs, ":")
+		if !ok || site == "" || key == "" {
+			return nil, fmt.Errorf("faults: %q: want site:key before '='", ent)
+		}
+		r := &rule{key: key, remaining: -1}
+		if action, cnt, ok := strings.Cut(action, "@"); ok {
+			n, err := strconv.ParseInt(cnt, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("faults: %q: bad count %q", ent, cnt)
+			}
+			r.remaining = n
+			_ = action
+		}
+		action, _, _ = strings.Cut(action, "@")
+		name, param, _ := strings.Cut(action, ":")
+		switch name {
+		case "panic":
+			r.kind = KindPanic
+		case "err":
+			r.kind = KindErr
+		case "cancel":
+			r.kind = KindCancel
+		case "hang":
+			r.kind = KindHang
+		case "delay":
+			d, err := time.ParseDuration(param)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faults: %q: bad delay %q", ent, param)
+			}
+			r.kind, r.delay = KindDelay, d
+		default:
+			return nil, fmt.Errorf("faults: %q: unknown action %q", ent, name)
+		}
+		out[site] = append(out[site], r)
+	}
+	return out, nil
+}
+
+// Fire is the hook entry point. When a rule matches (site, key) it injects
+// the rule's fault: KindPanic panics, KindDelay sleeps (aborted early and
+// reported as a typed cancellation if ctx is done first), KindHang blocks
+// until ctx is done and returns the typed cancellation, and KindErr /
+// KindCancel return their errors. Disarmed, it is a single atomic load.
+func Fire(ctx context.Context, site, key string) error {
+	if !armed.Load() {
+		return nil
+	}
+	r := match(site, key)
+	if r == nil {
+		return nil
+	}
+	switch r.kind {
+	case KindPanic:
+		panic(fmt.Sprintf("faults: injected panic at %s:%s", site, key))
+	case KindErr:
+		return fmt.Errorf("faults: injected error at %s:%s", site, key)
+	case KindCancel:
+		return fmt.Errorf("%w: faults: injected cancellation at %s:%s", interrupt.ErrCanceled, site, key)
+	case KindDelay:
+		t := time.NewTimer(r.delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return interrupt.Cause(ctx)
+		}
+	case KindHang:
+		<-ctx.Done()
+		return interrupt.Cause(ctx)
+	}
+	return nil
+}
+
+// match finds the first live rule for (site, key), consumes one fire from
+// its budget, and records the injection.
+func match(site, key string) *rule {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, r := range rules[site] {
+		if r.key != "*" && r.key != key {
+			continue
+		}
+		if r.remaining == 0 {
+			continue
+		}
+		if r.remaining > 0 {
+			r.remaining--
+		}
+		fired[site]++
+		return r
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ucp/internal/interrupt"
+)
+
+func arm(t *testing.T, spec string) {
+	t.Helper()
+	if err := Arm(spec); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(Disarm)
+}
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("Armed() after Disarm")
+	}
+	if err := Fire(context.Background(), "pool.task", "0"); err != nil {
+		t.Fatalf("disarmed Fire = %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nonsense",
+		"site=panic",          // missing key
+		"site:key=frobnicate", // unknown action
+		"site:key=delay:xyz",  // bad duration
+		"site:key=panic@zero", // bad count
+		"site:key=panic@0",    // non-positive count
+		"site:key=delay:-5ms", // negative delay
+		"site:key",            // no action at all
+	} {
+		if err := Arm(spec); err == nil {
+			Disarm()
+			t.Errorf("Arm(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestErrAndCancelInjection(t *testing.T) {
+	arm(t, "a:k1=err,a:k2=cancel")
+	if err := Fire(context.Background(), "a", "k1"); err == nil || interrupt.Is(err) {
+		t.Errorf("err action: got %v, want plain injected error", err)
+	}
+	if err := Fire(context.Background(), "a", "k2"); !errors.Is(err, interrupt.ErrCanceled) {
+		t.Errorf("cancel action: got %v, want ErrCanceled", err)
+	}
+	if err := Fire(context.Background(), "a", "other"); err != nil {
+		t.Errorf("unmatched key fired: %v", err)
+	}
+	if err := Fire(context.Background(), "b", "k1"); err != nil {
+		t.Errorf("unmatched site fired: %v", err)
+	}
+	if got := Count("a"); got != 2 {
+		t.Errorf("Count(a) = %d, want 2", got)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	arm(t, "boom:*=panic")
+	defer func() {
+		if recover() == nil {
+			t.Error("panic action did not panic")
+		}
+	}()
+	Fire(context.Background(), "boom", "anything")
+}
+
+func TestCountBudget(t *testing.T) {
+	arm(t, "a:*=err@2")
+	ctx := context.Background()
+	if Fire(ctx, "a", "x") == nil || Fire(ctx, "a", "y") == nil {
+		t.Fatal("budgeted rule must fire twice")
+	}
+	if err := Fire(ctx, "a", "z"); err != nil {
+		t.Fatalf("exhausted rule fired again: %v", err)
+	}
+	if got := Count("a"); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+}
+
+func TestDelayRespectsContext(t *testing.T) {
+	arm(t, "slow:*=delay:30s")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Fire(ctx, "slow", "cell")
+	if !errors.Is(err, interrupt.ErrCanceled) {
+		t.Fatalf("interrupted delay: got %v, want ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("delay ignored cancellation (%v)", elapsed)
+	}
+}
+
+func TestHangUntilDeadline(t *testing.T) {
+	arm(t, "loop:*=hang")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := Fire(ctx, "loop", "")
+	if !errors.Is(err, interrupt.ErrDeadline) {
+		t.Fatalf("hang under deadline: got %v, want ErrDeadline", err)
+	}
+}
+
+func TestShortDelayCompletes(t *testing.T) {
+	arm(t, "slow:*=delay:1ms")
+	if err := Fire(context.Background(), "slow", "x"); err != nil {
+		t.Fatalf("completed delay returned %v", err)
+	}
+}

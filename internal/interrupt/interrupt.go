@@ -1,0 +1,94 @@
+// Package interrupt is the shared vocabulary of cooperative cancellation
+// across the analysis stack: typed errors distinguishing "the caller gave
+// up" from "the deadline passed", a cheap amortized context checker for
+// tight fixpoint loops, and helpers for classifying errors that crossed
+// several layers (solver → optimizer → sweep → service).
+//
+// Every long-running loop in this repository (the absint fixpoint, the
+// optimizer's validate-and-commit passes, the sweep's cells) polls a
+// Checker; on cancellation it unwinds with an error that wraps both the
+// typed sentinel (ErrCanceled / ErrDeadline) and the underlying context
+// error, so callers can match either with errors.Is.
+package interrupt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports that an analysis was stopped because its context was
+// canceled (client disconnect, shutdown, sibling failure).
+var ErrCanceled = errors.New("analysis canceled")
+
+// ErrDeadline reports that an analysis was stopped because its context's
+// deadline passed (request timeout, job timeout).
+var ErrDeadline = errors.New("analysis deadline exceeded")
+
+// Cause returns nil while ctx is live, and otherwise a typed error that
+// wraps both the matching sentinel and the context's cause, so both
+// errors.Is(err, ErrDeadline) and errors.Is(err, context.DeadlineExceeded)
+// hold.
+func Cause(ctx context.Context) error {
+	if ctx.Err() == nil {
+		return nil
+	}
+	return Wrap(context.Cause(ctx))
+}
+
+// Wrap lifts a raw context error into the typed form; errors that are
+// neither canceled nor deadline-related (or already typed) pass through.
+func Wrap(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline):
+		return err
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrDeadline, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	default:
+		return err
+	}
+}
+
+// Is reports whether err is (or wraps) either interruption sentinel — the
+// test callers use to tell "stop everything" from "this cell failed".
+func Is(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Checker amortizes context polling for tight loops: Check is a counter
+// increment on most calls and consults the context only once per interval.
+// Once tripped it keeps returning the same error. A Checker is owned by a
+// single goroutine (the analyses that embed one are sequential).
+type Checker struct {
+	ctx      context.Context
+	interval uint32
+	n        uint32
+	err      error
+}
+
+// NewChecker returns a Checker polling ctx every interval Check calls
+// (non-positive intervals poll on every call).
+func NewChecker(ctx context.Context, interval int) *Checker {
+	if interval <= 0 {
+		interval = 1
+	}
+	return &Checker{ctx: ctx, interval: uint32(interval)}
+}
+
+// Check returns a typed cancellation error once the context is done.
+func (c *Checker) Check() error {
+	if c.err != nil {
+		return c.err
+	}
+	c.n++
+	if c.n%c.interval != 0 {
+		return nil
+	}
+	c.err = Cause(c.ctx)
+	return c.err
+}

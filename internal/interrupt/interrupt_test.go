@@ -1,0 +1,91 @@
+package interrupt
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCauseLiveContext(t *testing.T) {
+	if err := Cause(context.Background()); err != nil {
+		t.Fatalf("Cause(live ctx) = %v, want nil", err)
+	}
+}
+
+func TestCauseCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Cause(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, must also wrap context.Canceled", err)
+	}
+	if errors.Is(err, ErrDeadline) {
+		t.Errorf("err = %v, must not match ErrDeadline", err)
+	}
+}
+
+func TestCauseDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := Cause(ctx)
+	if !errors.Is(err, ErrDeadline) {
+		t.Errorf("err = %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, must also wrap context.DeadlineExceeded", err)
+	}
+}
+
+func TestWrapIdempotentAndPassthrough(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	typed := Cause(ctx)
+	if got := Wrap(typed); got != typed {
+		t.Errorf("Wrap(typed) rewrapped: %v", got)
+	}
+	plain := errors.New("boom")
+	if got := Wrap(plain); got != plain {
+		t.Errorf("Wrap(plain) = %v, want passthrough", got)
+	}
+	if Wrap(nil) != nil {
+		t.Error("Wrap(nil) != nil")
+	}
+}
+
+func TestIs(t *testing.T) {
+	if Is(errors.New("boom")) {
+		t.Error("Is(plain error) = true")
+	}
+	if !Is(context.DeadlineExceeded) || !Is(context.Canceled) {
+		t.Error("Is must accept raw context errors")
+	}
+	if !Is(ErrCanceled) || !Is(ErrDeadline) {
+		t.Error("Is must accept the typed sentinels")
+	}
+}
+
+func TestCheckerTripsAndLatches(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	chk := NewChecker(ctx, 4)
+	for i := 0; i < 16; i++ {
+		if err := chk.Check(); err != nil {
+			t.Fatalf("Check() = %v before cancellation", err)
+		}
+	}
+	cancel()
+	// Within one interval the checker must observe the cancellation.
+	var err error
+	for i := 0; i < 4 && err == nil; i++ {
+		err = chk.Check()
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Check() after cancel = %v, want ErrCanceled", err)
+	}
+	if got := chk.Check(); !errors.Is(got, ErrCanceled) {
+		t.Fatalf("Check() must latch: got %v", got)
+	}
+}

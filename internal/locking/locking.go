@@ -12,6 +12,7 @@
 package locking
 
 import (
+	"context"
 	"sort"
 
 	"ucp/internal/cache"
@@ -36,7 +37,7 @@ type Selection struct {
 // blocks are ranked by their WCET-scenario access frequency (the classical
 // frequency-based content selection for static locking), respecting the
 // per-set way limits of the configuration.
-func Select(p *isa.Program, cfg cache.Config, par wcet.Params) (*Selection, error) {
+func Select(ctx context.Context, p *isa.Program, cfg cache.Config, par wcet.Params) (*Selection, error) {
 	x, err := vivu.Expand(p)
 	if err != nil {
 		return nil, err
@@ -44,7 +45,7 @@ func Select(p *isa.Program, cfg cache.Config, par wcet.Params) (*Selection, erro
 	// A cost vector of all-miss times yields the execution counts of the
 	// worst-case path of the *locked* machine, where every reference costs
 	// the same; the actual lock selection then fixes per-block costs.
-	res, err := wcet.AnalyzeX(x, cfg, par)
+	res, err := wcet.AnalyzeX(ctx, x, cfg, par)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package locking
 
 import (
+	"context"
 	"testing"
 
 	"ucp/internal/cache"
@@ -14,7 +15,7 @@ var testPar = wcet.Params{HitCycles: 1, MissPenalty: 9, Lambda: 10}
 func TestSelectRespectsWayLimits(t *testing.T) {
 	p := isa.Build("sel", isa.Loop(20, 16, isa.Code(120)), isa.Code(30))
 	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 256}
-	s, err := Select(p, cfg, testPar)
+	s, err := Select(context.Background(), p, cfg, testPar)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestSelectPrefersHotBlocks(t *testing.T) {
 	// A hot loop and a cold tail: the loop's blocks must win the ways.
 	p := isa.Build("hot", isa.Loop(50, 45, isa.Code(24)), isa.Code(200))
 	cfg := cache.Config{Assoc: 1, BlockBytes: 16, CapacityBytes: 128} // 8 blocks lockable
-	s, err := Select(p, cfg, testPar)
+	s, err := Select(context.Background(), p, cfg, testPar)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestLockedWCETConsistentWithSim(t *testing.T) {
 	// simulated locked execution time.
 	p := isa.Build("det", isa.Loop(10, 10, isa.Code(20)), isa.Code(10))
 	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 256}
-	s, err := Select(p, cfg, testPar)
+	s, err := Select(context.Background(), p, cfg, testPar)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestLockingGivesUpACET(t *testing.T) {
 	// energy-inefficient as static power grows.
 	p := isa.Build("overflow", isa.Loop(30, 28, isa.Code(150)))
 	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 512}
-	sel, err := Select(p, cfg, testPar)
+	sel, err := Select(context.Background(), p, cfg, testPar)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +92,11 @@ func TestLockedBoundCanBeatUnlockedBound(t *testing.T) {
 	// the locking camp.
 	p := isa.Build("fit", isa.Loop(30, 28, isa.IfThen(0.5, isa.Code(40)), isa.Code(40)))
 	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 1024}
-	sel, err := Select(p, cfg, testPar)
+	sel, err := Select(context.Background(), p, cfg, testPar)
 	if err != nil {
 		t.Fatal(err)
 	}
-	unlocked, err := wcet.Analyze(p, cfg, testPar)
+	unlocked, err := wcet.Analyze(context.Background(), p, cfg, testPar)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestLockedBoundCanBeatUnlockedBound(t *testing.T) {
 func TestLockedMissesCount(t *testing.T) {
 	p := isa.Build("m", isa.Code(100))
 	cfg := cache.Config{Assoc: 1, BlockBytes: 16, CapacityBytes: 64}
-	sel, err := Select(p, cfg, testPar)
+	sel, err := Select(context.Background(), p, cfg, testPar)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package malardalen
 
 import (
+	"context"
 	"testing"
 
 	"ucp/internal/cache"
@@ -49,7 +50,7 @@ func TestEveryProgramAnalyzesAndRuns(t *testing.T) {
 	par := wcet.Params{HitCycles: 1, MissPenalty: 16, Lambda: 16}
 	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 1024}
 	for _, b := range All() {
-		res, err := wcet.Analyze(b.Prog, cfg, par)
+		res, err := wcet.Analyze(context.Background(), b.Prog, cfg, par)
 		if err != nil {
 			t.Errorf("%s: %v", b.Name, err)
 			continue

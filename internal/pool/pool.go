@@ -4,13 +4,68 @@
 // cells in flight across every caller that shares it, so a server with
 // GOMAXPROCS workers cannot be pushed past the hardware by a burst of
 // sweep jobs.
+//
+// Every task runs behind a panic barrier: a panic inside a task is
+// recovered, converted into a *PanicError carrying the stack, and treated
+// as that task's error instead of crashing the process. Callers that want
+// finer-grained isolation (fail one unit of work, keep the batch going)
+// wrap the risky region with Recover themselves.
 package pool
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
+	"sync/atomic"
+
+	"ucp/internal/faults"
 )
+
+// PanicError is a panic recovered at a task boundary, preserved as an
+// error: the panic value, the goroutine stack at the point of the panic,
+// and the task index (-1 when recovered outside ForEach). The stack is
+// for the server log; Error() deliberately omits it so the message is
+// safe to surface to clients.
+type PanicError struct {
+	Task  int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	if e.Task < 0 {
+		return fmt.Sprintf("panic recovered: %v", e.Value)
+	}
+	return fmt.Sprintf("task %d panicked: %v", e.Task, e.Value)
+}
+
+// panicsRecovered counts every panic converted to a *PanicError, process
+// wide; the service exposes it as ucp_panics_recovered_total.
+var panicsRecovered atomic.Int64
+
+// PanicsRecovered returns the process-wide recovered-panic count.
+func PanicsRecovered() int64 { return panicsRecovered.Load() }
+
+// Recover runs fn and converts a panic into a *PanicError (Task = -1).
+// It is the isolation primitive ForEach applies per task; callers that
+// must survive a failing unit of work (a sweep recording one cell as
+// failed and moving on) use it directly around the risky region.
+func Recover(fn func() error) (err error) {
+	return recoverTask(-1, fn)
+}
+
+func recoverTask(task int, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicsRecovered.Add(1)
+			err = &PanicError{Task: task, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
 
 // Pool bounds the number of concurrently running tasks. The zero value is
 // not usable; construct with New.
@@ -34,9 +89,12 @@ func (p *Pool) Workers() int { return p.workers }
 // ForEach runs fn(ctx, i) for i in [0, n), at most Workers at a time, and
 // waits for every started task to finish. The first non-nil error cancels
 // the context passed to the remaining tasks and stops new tasks from
-// starting; that error is returned. If the parent context is cancelled
-// before all tasks have started, ForEach stops launching and returns the
-// context's error (already-started tasks still run to completion).
+// starting; that error is returned. A panic inside fn is recovered and
+// counts as that task's error, as a *PanicError carrying the stack — one
+// misbehaving task can fail its batch but never the process. If the
+// parent context is cancelled before all tasks have started, ForEach
+// stops launching and returns the context's error (already-started tasks
+// still run to completion).
 //
 // Several ForEach calls may share one Pool concurrently; the bound applies
 // to the union of their tasks. Do not call ForEach from inside a task of
@@ -69,7 +127,13 @@ spawn:
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-p.sem }()
-				if err := fn(ctx, i); err != nil {
+				err := recoverTask(i, func() error {
+					if ferr := faults.Fire(ctx, "pool.task", strconv.Itoa(i)); ferr != nil {
+						return ferr
+					}
+					return fn(ctx, i)
+				})
+				if err != nil {
 					fail(err)
 				}
 			}(i)

@@ -102,6 +102,79 @@ func TestForEachParentCancel(t *testing.T) {
 	}
 }
 
+func TestForEachRecoversPanic(t *testing.T) {
+	p := New(2)
+	before := PanicsRecovered()
+	var ran atomic.Int64
+	err := p.ForEach(context.Background(), 8, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 2 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Task != 2 {
+		t.Errorf("PanicError.Task = %d, want 2", pe.Task)
+	}
+	if pe.Value != "kaboom" {
+		t.Errorf("PanicError.Value = %v, want kaboom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError.Stack is empty")
+	}
+	if got := PanicsRecovered(); got != before+1 {
+		t.Errorf("PanicsRecovered = %d, want %d", got, before+1)
+	}
+}
+
+func TestRecoverHelper(t *testing.T) {
+	if err := Recover(func() error { return nil }); err != nil {
+		t.Fatalf("Recover(ok fn) = %v", err)
+	}
+	boom := errors.New("boom")
+	if err := Recover(func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Recover(err fn) = %v, want %v", err, boom)
+	}
+	err := Recover(func() error { panic(42) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Recover(panic fn) = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Task != -1 {
+		t.Errorf("PanicError.Task = %d, want -1", pe.Task)
+	}
+	if pe.Value != 42 {
+		t.Errorf("PanicError.Value = %v, want 42", pe.Value)
+	}
+}
+
+func TestPanicFailsBatchNotSiblings(t *testing.T) {
+	// A panic fails its ForEach batch (first-error semantics) but tasks
+	// that already started still run to completion — the pool never loses
+	// the process or strands siblings mid-flight.
+	p := New(4)
+	var completed atomic.Int64
+	err := p.ForEach(context.Background(), 4, func(ctx context.Context, i int) error {
+		if i == 0 {
+			panic("one bad cell")
+		}
+		time.Sleep(5 * time.Millisecond)
+		completed.Add(1)
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if completed.Load() == 0 {
+		t.Error("no sibling task completed after one panicked")
+	}
+}
+
 func TestSharedPoolAcrossForEach(t *testing.T) {
 	p := New(2)
 	var cur, peak atomic.Int64

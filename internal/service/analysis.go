@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"ucp/internal/cliutil"
 	"ucp/internal/energy"
 	"ucp/internal/experiment"
+	"ucp/internal/faults"
 	"ucp/internal/isa"
 	"ucp/internal/malardalen"
 )
@@ -138,15 +140,20 @@ func cacheKey(fp string, cfg cache.Config, tech energy.Tech, runs, budget int) s
 
 // analyze returns the measurement for one resolved use case, serving it
 // from the content-addressed cache when an identical query has already
-// been answered. cached reports where the result came from.
-func (s *Server) analyze(uc useCase) (res Result, cached bool, err error) {
+// been answered. cached reports where the result came from. The analysis
+// polls ctx cooperatively; an interrupted analysis returns a typed
+// interrupt error and caches nothing.
+func (s *Server) analyze(ctx context.Context, uc useCase) (res Result, cached bool, err error) {
 	key := cacheKey(isa.Fingerprint(uc.bench.Prog), uc.cfg, uc.tech, uc.runs, uc.budget)
 	if v, ok := s.cache.get(key); ok {
 		return v, true, nil
 	}
+	if err := faults.Fire(ctx, "service.analyze", uc.bench.Name); err != nil {
+		return Result{}, false, err
+	}
 
 	start := time.Now()
-	cell, err := experiment.RunCell(uc.bench, uc.cfgIdx, uc.tech, experiment.Options{
+	cell, err := experiment.RunCell(ctx, uc.bench, uc.cfgIdx, uc.tech, experiment.Options{
 		Policy:           uc.cfg.Policy,
 		Runs:             uc.runs,
 		ValidationBudget: uc.budget,

@@ -6,8 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"ucp/internal/cache"
+	"ucp/internal/interrupt"
+	"ucp/internal/pool"
 )
 
 // routes wires the API. Method-qualified patterns (Go 1.22 ServeMux) give
@@ -15,6 +18,7 @@ import (
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/configs", s.handleConfigs)
@@ -76,6 +80,22 @@ func (s *Server) resolveErr(w http.ResponseWriter, err error) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports whether the server is accepting new work: 503 while
+// draining (shutdown has begun) or while the job queue is saturated, 200
+// otherwise. Liveness (/healthz) stays 200 in both 503 cases — the process
+// is healthy, it just should not receive new traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if s.jobs.activeJobs() >= s.cfg.MaxQueuedJobs {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -149,6 +169,10 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	var req AnalyzeRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -158,6 +182,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.resolveErr(w, err)
 		return
 	}
+	timeout, err := s.analyzeTimeout(r)
+	if err != nil {
+		s.resolveErr(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
 	// The synchronous path still goes through the shared pool so a burst
 	// of /v1/analyze requests cannot oversubscribe the machine; one
 	// request occupies exactly one worker slot.
@@ -165,16 +196,56 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		res    Result
 		cached bool
 	)
-	perr := s.pool.ForEach(r.Context(), 1, func(_ context.Context, _ int) error {
+	perr := s.pool.ForEach(ctx, 1, func(ctx context.Context, _ int) error {
 		var aerr error
-		res, cached, aerr = s.analyze(uc)
+		res, cached, aerr = s.analyze(ctx, uc)
 		return aerr
 	})
 	if perr != nil {
-		s.writeError(w, http.StatusInternalServerError, "%v", perr)
+		s.analyzeErr(w, perr)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, analyzeResponse{Result: res, Cached: cached})
+}
+
+// analyzeTimeout resolves the per-request deadline: the configured
+// AnalyzeTimeout, which ?timeout= (a Go duration) may lower but never
+// raise — a client cannot buy itself more of the server's time than the
+// operator allowed.
+func (s *Server) analyzeTimeout(r *http.Request) (time.Duration, error) {
+	timeout := s.cfg.AnalyzeTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return 0, errorf(400, "bad timeout %q: %v", v, err)
+		}
+		if d <= 0 {
+			return 0, errorf(400, "timeout must be positive")
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+	return timeout, nil
+}
+
+// analyzeErr maps an analysis failure onto its HTTP status: a recovered
+// panic is 500 with a sanitized body (the stack goes to the log only), a
+// deadline is 504, a cancellation (client gone or server draining) is 503,
+// and anything else keeps the plain-500 behavior.
+func (s *Server) analyzeErr(w http.ResponseWriter, err error) {
+	var pe *pool.PanicError
+	switch {
+	case errors.As(err, &pe):
+		s.log.Error("analysis panicked", "panic", fmt.Sprint(pe.Value), "stack", string(pe.Stack))
+		s.writeError(w, http.StatusInternalServerError, "internal panic during analysis")
+	case errors.Is(err, interrupt.ErrDeadline):
+		s.writeError(w, http.StatusGatewayTimeout, "analysis deadline exceeded")
+	case errors.Is(err, interrupt.ErrCanceled), errors.Is(err, context.Canceled):
+		s.writeError(w, http.StatusServiceUnavailable, "analysis canceled")
+	default:
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+	}
 }
 
 // analyzeResponse wraps a Result with its cache provenance.
@@ -184,6 +255,10 @@ type analyzeResponse struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	var req SweepRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -193,7 +268,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.resolveErr(w, err)
 		return
 	}
-	j := s.startSweep(cases)
+	j, err := s.jobs.tryAdd(cases, s.cfg.MaxQueuedJobs)
+	if err != nil {
+		// The backlog is bounded; tell the client when trying again is
+		// likely to succeed rather than letting jobs pile up unbounded.
+		s.metrics.countJobRejected()
+		w.Header().Set("Retry-After", "30")
+		s.writeError(w, http.StatusTooManyRequests,
+			"job queue full (%d unfinished jobs); retry later", s.cfg.MaxQueuedJobs)
+		return
+	}
+	s.startSweep(j)
 	s.writeJSON(w, http.StatusAccepted, map[string]any{
 		"job_id":     j.id,
 		"cells":      len(cases),
@@ -203,8 +288,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j, ok := s.jobs.get(id)
+	j, ok, expired := s.jobs.get(id)
 	if !ok {
+		if expired {
+			// The ID was real once; its job has been pruned from the
+			// bounded store. The body shape is pinned by tests — clients
+			// distinguish "expired, results gone" from a typo'd ID.
+			s.writeError(w, http.StatusNotFound, "job %q expired", id)
+			return
+		}
 		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}

@@ -3,8 +3,14 @@ package service
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"ucp/internal/cache"
+	"ucp/internal/interrupt"
+	"ucp/internal/pool"
 )
 
 // SweepRequest submits a program × configuration × technology × policy
@@ -36,14 +42,25 @@ type JobStatus struct {
 	Total int    `json:"total"`
 	Done  int    `json:"done"`
 	// CacheHits counts cells answered from the result cache.
-	CacheHits  int       `json:"cache_hits"`
+	CacheHits int `json:"cache_hits"`
+	// Failed counts cells whose analysis errored or panicked; those cells
+	// carry a zero Result and an entry in CellErrors, the rest of the job
+	// completes normally.
+	Failed     int       `json:"failed,omitempty"`
 	Error      string    `json:"error,omitempty"`
 	CreatedAt  time.Time `json:"created_at"`
 	FinishedAt time.Time `json:"finished_at,omitzero"`
+	// CellErrors lists up to maxCellErrors per-cell failure messages
+	// ("program/config/tech: reason"); Failed carries the full count.
+	CellErrors []string `json:"cell_errors,omitempty"`
 	// Results lists one entry per cell, in deterministic (program,
 	// config, technology) request order; present only when State is done.
 	Results []Result `json:"results,omitempty"`
 }
+
+// maxCellErrors bounds the per-job failure log so a pathological sweep
+// cannot grow its status payload without bound.
+const maxCellErrors = 16
 
 // job is one asynchronous sweep: a list of resolved use cases worked
 // through the server's shared pool.
@@ -51,14 +68,16 @@ type job struct {
 	id    string
 	cases []useCase
 
-	mu        sync.Mutex
-	state     jobState
-	done      int
-	cacheHits int
-	errMsg    string
-	created   time.Time
-	finished  time.Time
-	results   []Result
+	mu         sync.Mutex
+	state      jobState
+	done       int
+	cacheHits  int
+	failed     int
+	cellErrors []string
+	errMsg     string
+	created    time.Time
+	finished   time.Time
+	results    []Result
 }
 
 // status snapshots the job for the wire. Results are shared read-only once
@@ -72,14 +91,27 @@ func (j *job) status() JobStatus {
 		Total:      len(j.cases),
 		Done:       j.done,
 		CacheHits:  j.cacheHits,
+		Failed:     j.failed,
 		Error:      j.errMsg,
 		CreatedAt:  j.created,
 		FinishedAt: j.finished,
+		CellErrors: j.cellErrors,
 	}
 	if j.state == jobDone {
 		st.Results = j.results
 	}
 	return st
+}
+
+// failCell records one cell's failure without failing the job.
+func (j *job) failCell(uc useCase, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.failed++
+	if len(j.cellErrors) < maxCellErrors {
+		j.cellErrors = append(j.cellErrors,
+			fmt.Sprintf("%s/%s/%s: %v", uc.bench.Name, cache.ConfigID(uc.cfgIdx), uc.tech, err))
+	}
 }
 
 // maxFinishedJobs bounds the job store: once exceeded, the oldest finished
@@ -99,9 +131,28 @@ func newJobStore() *jobStore {
 	return &jobStore{jobs: map[string]*job{}}
 }
 
-func (s *jobStore) add(cases []useCase) *job {
+// errJobQueueFull is tryAdd's admission refusal; the handler maps it to
+// 429 with a Retry-After header.
+var errJobQueueFull = fmt.Errorf("job queue full")
+
+// tryAdd registers a job unless the store already holds maxActive
+// unfinished (queued or running) jobs. The admission check and the insert
+// happen under one lock so concurrent submissions cannot both squeeze past
+// the bound.
+func (s *jobStore) tryAdd(cases []useCase, maxActive int) (*job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	active := 0
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			if st := j.currentState(); st == jobQueued || st == jobRunning {
+				active++
+			}
+		}
+	}
+	if active >= maxActive {
+		return nil, errJobQueueFull
+	}
 	s.seq++
 	j := &job{
 		id:      fmt.Sprintf("job-%06d", s.seq),
@@ -112,7 +163,22 @@ func (s *jobStore) add(cases []useCase) *job {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.prune()
-	return j
+	return j, nil
+}
+
+// activeJobs counts unfinished (queued or running) jobs, for /readyz.
+func (s *jobStore) activeJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	active := 0
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			if st := j.currentState(); st == jobQueued || st == jobRunning {
+				active++
+			}
+		}
+	}
+	return active
 }
 
 // prune drops the oldest finished jobs beyond maxFinishedJobs. Caller
@@ -146,11 +212,23 @@ func (j *job) currentState() jobState {
 	return j.state
 }
 
-func (s *jobStore) get(id string) (*job, bool) {
+// get looks a job up by ID. expired reports that the ID was once assigned
+// but the job has since been pruned from the store — job IDs are handed
+// out sequentially ("job-%06d") and only leave the map through prune, so
+// an absent ID at or below the current sequence number must have been
+// pruned. Handlers use the distinction to answer a stable "expired" 404
+// instead of pretending the job never existed.
+func (s *jobStore) get(id string) (j *job, ok, expired bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	return j, ok
+	if j, ok := s.jobs[id]; ok {
+		return j, true, false
+	}
+	if n, err := strconv.Atoi(strings.TrimPrefix(id, "job-")); err == nil &&
+		strings.HasPrefix(id, "job-") && n >= 1 && n <= s.seq {
+		return nil, false, true
+	}
+	return nil, false, false
 }
 
 // counts tallies jobs by state for /metrics.
@@ -171,12 +249,17 @@ func (s *jobStore) counts() map[jobState]int {
 	return out
 }
 
-// startSweep registers a job for the resolved matrix and launches it on
-// the shared worker pool. The job's context inherits the server's base
-// context (cancelled on shutdown) and the configured per-job timeout.
-func (s *Server) startSweep(cases []useCase) *job {
+// startSweep launches an admitted job on the shared worker pool. The job's
+// context inherits the server's base context (cancelled on shutdown) and
+// the configured per-job timeout.
+//
+// Failure isolation is per cell: a cell whose analysis errors or panics is
+// recorded as failed (with a bounded error log) and its siblings continue —
+// one poisoned use case cannot take down a 2664-cell sweep. Interruptions
+// are different: a job-timeout or shutdown cancellation must stop the whole
+// job, so typed interrupt errors propagate and fail the job with the cause.
+func (s *Server) startSweep(j *job) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
-	j := s.jobs.add(cases)
 
 	s.wg.Add(1)
 	go func() {
@@ -188,10 +271,24 @@ func (s *Server) startSweep(cases []useCase) *job {
 		results := make([]Result, len(j.cases))
 		j.mu.Unlock()
 
-		err := s.pool.ForEach(ctx, len(j.cases), func(_ context.Context, i int) error {
-			res, cached, err := s.analyze(j.cases[i])
-			if err != nil {
-				return err
+		err := s.pool.ForEach(ctx, len(j.cases), func(ctx context.Context, i int) error {
+			uc := j.cases[i]
+			var (
+				res    Result
+				cached bool
+			)
+			aerr := pool.Recover(func() error {
+				var e error
+				res, cached, e = s.analyze(ctx, uc)
+				return e
+			})
+			if aerr != nil {
+				if interrupt.Is(aerr) {
+					s.metrics.countCellCanceled()
+					return interrupt.Wrap(aerr)
+				}
+				j.failCell(uc, aerr)
+				return nil
 			}
 			results[i] = res
 			j.mu.Lock()
@@ -214,7 +311,6 @@ func (s *Server) startSweep(cases []useCase) *job {
 		j.state = jobDone
 		j.results = results
 	}()
-	return j
 }
 
 // resolveSweep expands a SweepRequest into the deterministic use-case

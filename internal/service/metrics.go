@@ -5,8 +5,10 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ucp/internal/pool"
 	"ucp/internal/wcet"
 )
 
@@ -28,6 +30,11 @@ type metrics struct {
 	latencies [latencyWindow]float64 // seconds
 	lat       int                    // next write position
 	latN      int                    // filled entries
+
+	// Fault-tolerance counters; atomics because the hot paths that bump
+	// them (sweep cells, admission checks) should not contend on mu.
+	jobsRejected  atomic.Int64 // sweep submissions refused by admission control
+	cellsCanceled atomic.Int64 // sweep cells stopped by cancellation or deadline
 }
 
 func newMetrics() *metrics {
@@ -47,6 +54,13 @@ func (m *metrics) countPolicy(policy string) {
 	m.byPolicy[policy]++
 	m.mu.Unlock()
 }
+
+// countJobRejected records one sweep submission refused with 429.
+func (m *metrics) countJobRejected() { m.jobsRejected.Add(1) }
+
+// countCellCanceled records one sweep cell stopped by a cancellation or
+// deadline rather than by finishing.
+func (m *metrics) countCellCanceled() { m.cellsCanceled.Add(1) }
 
 // observeAnalysis records one executed (non-cached) analysis.
 func (m *metrics) observeAnalysis(d time.Duration, ok bool) {
@@ -142,6 +156,16 @@ func (s *Server) renderMetrics(w io.Writer) error {
 	for _, st := range []jobState{jobQueued, jobRunning, jobDone, jobFailed} {
 		ew.printf("ucp_jobs{state=%q} %d\n", string(st), counts[st])
 	}
+
+	// Fault-tolerance counters. Panics are process-wide (pool package
+	// counter) so panics recovered in ucp-bench sweeps inside this process
+	// are included too.
+	ew.head("ucp_panics_recovered_total", "counter", "Panics recovered from analysis tasks.")
+	ew.printf("ucp_panics_recovered_total %d\n", pool.PanicsRecovered())
+	ew.head("ucp_jobs_rejected_total", "counter", "Sweep submissions refused by admission control (429).")
+	ew.printf("ucp_jobs_rejected_total %d\n", s.metrics.jobsRejected.Load())
+	ew.head("ucp_cells_canceled_total", "counter", "Sweep cells stopped by cancellation or deadline.")
+	ew.printf("ucp_cells_canceled_total %d\n", s.metrics.cellsCanceled.Load())
 
 	qs := s.metrics.quantiles(0.5, 0.99)
 	ew.head("ucp_analysis_latency_seconds", "summary", "Latency of executed analyses (recent window).")

@@ -16,7 +16,13 @@
 //	GET  /v1/benchmarks the Mälardalen suite
 //	GET  /v1/configs    the Table 2 configurations
 //	GET  /healthz       liveness
+//	GET  /readyz        readiness (503 while draining or saturated)
 //	GET  /metrics       Prometheus text counters
+//
+// The execution layer is fault-tolerant (DESIGN.md §10): analyses are
+// cooperatively cancellable (request deadlines, job timeouts, shutdown), a
+// panicking analysis fails only its own cell, and admission control sheds
+// work (429/503) before it can pile up behind the bounded worker pool.
 package service
 
 import (
@@ -25,6 +31,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ucp/internal/cache"
@@ -46,6 +53,15 @@ type Config struct {
 	// JobTimeout cancels a sweep job that has run longer
 	// (0 = 15 minutes).
 	JobTimeout time.Duration
+	// AnalyzeTimeout bounds one synchronous /v1/analyze request; the
+	// in-flight analysis is cancelled cooperatively when it expires and the
+	// request gets 504 (0 = 2 minutes). Clients may lower — never raise —
+	// the bound per request with ?timeout=30s.
+	AnalyzeTimeout time.Duration
+	// MaxQueuedJobs bounds sweep jobs admitted but not yet finished
+	// (queued + running). Beyond it, POST /v1/sweep gets 429 with a
+	// Retry-After header instead of growing the backlog (0 = 32).
+	MaxQueuedJobs int
 	// Logger receives one structured line per request (nil = slog default).
 	Logger *slog.Logger
 }
@@ -68,9 +84,10 @@ type Server struct {
 	benchNames   []string
 	configLabels []string
 
-	baseCtx context.Context
-	stop    context.CancelFunc
-	wg      sync.WaitGroup
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	wg       sync.WaitGroup
+	draining atomic.Bool
 }
 
 // New builds a ready-to-serve Server.
@@ -80,6 +97,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.JobTimeout <= 0 {
 		cfg.JobTimeout = 15 * time.Minute
+	}
+	if cfg.AnalyzeTimeout <= 0 {
+		cfg.AnalyzeTimeout = 2 * time.Minute
+	}
+	if cfg.MaxQueuedJobs <= 0 {
+		cfg.MaxQueuedJobs = 32
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
@@ -113,12 +136,25 @@ func (s *Server) Handler() http.Handler {
 	return s.logging(h)
 }
 
-// Close cancels every running job's context and waits for the job
-// goroutines to drain. Call after the HTTP server has shut down.
-func (s *Server) Close() {
+// Drain stops admitting work: /readyz flips to 503 so load balancers stop
+// routing here, new sweeps and analyses are refused, and every running
+// job's context is cancelled so in-flight cells unwind cooperatively. Call
+// it before shutting the HTTP listener down; already-accepted requests
+// still get their (error) responses.
+func (s *Server) Drain() {
+	s.draining.Store(true)
 	s.stop()
+}
+
+// Close drains (if not already draining) and waits for the job goroutines
+// to exit. Call after the HTTP server has shut down.
+func (s *Server) Close() {
+	s.Drain()
 	s.wg.Wait()
 }
+
+// isDraining reports whether Drain or Close has been called.
+func (s *Server) isDraining() bool { return s.draining.Load() }
 
 // statusRecorder captures the response code for the request log.
 type statusRecorder struct {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -56,7 +57,7 @@ func TestPolicySoundnessCrossLayer(t *testing.T) {
 			cfg := base
 			cfg.Policy = pol
 			for _, b := range benches {
-				res, err := wcet.Analyze(b.Prog, cfg, par)
+				res, err := wcet.Analyze(context.Background(), b.Prog, cfg, par)
 				if err != nil {
 					t.Fatalf("%s/%v: %v", b.Name, cfg, err)
 				}

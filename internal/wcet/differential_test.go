@@ -1,6 +1,7 @@
 package wcet_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -137,7 +138,7 @@ func TestDifferentialIncrementalVsFull(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			prev, err := wcet.AnalyzeX(x, cfg, par)
+			prev, err := wcet.AnalyzeX(context.Background(), x, cfg, par)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -146,11 +147,11 @@ func TestDifferentialIncrementalVsFull(t *testing.T) {
 				if !mutate(rng, p) {
 					continue
 				}
-				inc, err := wcet.AnalyzeXFrom(x, cfg, par, prev)
+				inc, err := wcet.AnalyzeXFrom(context.Background(), x, cfg, par, prev)
 				if err != nil {
 					t.Fatal(err)
 				}
-				full, err := wcet.AnalyzeX(x, cfg, par)
+				full, err := wcet.AnalyzeX(context.Background(), x, cfg, par)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -180,7 +181,7 @@ func TestDifferentialDirtyPropagationFuzz(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prev, err := wcet.AnalyzeX(x, cfg, par)
+		prev, err := wcet.AnalyzeX(context.Background(), x, cfg, par)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,11 +190,11 @@ func TestDifferentialDirtyPropagationFuzz(t *testing.T) {
 			for k := 0; k < 1+rng.Intn(4); k++ {
 				mutate(rng, p)
 			}
-			inc, err := wcet.AnalyzeXFrom(x, cfg, par, prev)
+			inc, err := wcet.AnalyzeXFrom(context.Background(), x, cfg, par, prev)
 			if err != nil {
 				t.Fatal(err)
 			}
-			full, err := wcet.AnalyzeX(x, cfg, par)
+			full, err := wcet.AnalyzeX(context.Background(), x, cfg, par)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package wcet
 
 import (
+	"context"
 	"sync/atomic"
 
 	"ucp/internal/absint"
@@ -41,16 +42,19 @@ func Stats() AnalysisStats {
 // what AnalyzeX would compute from scratch; the differential tests pin this
 // down. When prev is nil or was produced under different parameters the
 // call degrades to a full AnalyzeX.
-func AnalyzeXFrom(x *vivu.Prog, cfg cache.Config, par Params, prev *Result) (*Result, error) {
+func AnalyzeXFrom(ctx context.Context, x *vivu.Prog, cfg cache.Config, par Params, prev *Result) (*Result, error) {
 	if prev == nil || prev.X != x || prev.Cfg != cfg || prev.Par != par {
-		return AnalyzeX(x, cfg, par)
+		return AnalyzeX(ctx, x, cfg, par)
 	}
 	if err := par.Valid(); err != nil {
 		return nil, err
 	}
 	statIncremental.Add(1)
 	lay := isa.NewLayout(x.Prog)
-	ai := absint.AnalyzeFrom(x, lay, cfg, int(par.Lambda), prev.AI)
+	ai, err := absint.AnalyzeFrom(ctx, x, lay, cfg, int(par.Lambda), prev.AI)
+	if err != nil {
+		return nil, err
+	}
 	return assemble(x, cfg, par, lay, ai, prev)
 }
 

@@ -1,6 +1,7 @@
 package wcet
 
 import (
+	"context"
 	"testing"
 
 	"ucp/internal/cache"
@@ -19,7 +20,7 @@ func TestPolicyAnalyzeValidatesConfig(t *testing.T) {
 		{Assoc: 2, BlockBytes: 16, CapacityBytes: 64, Policy: cache.Policy(9)},
 	}
 	for _, cfg := range bad {
-		if _, err := Analyze(p, cfg, par); err == nil {
+		if _, err := Analyze(context.Background(), p, cfg, par); err == nil {
 			t.Errorf("Analyze accepted invalid config %v", cfg)
 		}
 	}
@@ -34,7 +35,7 @@ func TestPolicyAnalyzeCompletes(t *testing.T) {
 	bounds := map[cache.Policy]int64{}
 	for _, pol := range cache.Policies() {
 		cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 256, Policy: pol}
-		res, err := Analyze(p, cfg, par)
+		res, err := Analyze(context.Background(), p, cfg, par)
 		if err != nil {
 			t.Fatalf("%s: %v", pol, err)
 		}

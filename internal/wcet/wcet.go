@@ -7,6 +7,7 @@
 package wcet
 
 import (
+	"context"
 	"fmt"
 
 	"ucp/internal/absint"
@@ -69,19 +70,22 @@ type Result struct {
 	Fetches int64
 }
 
-// Analyze expands p and analyzes it on cfg with parameters par.
-func Analyze(p *isa.Program, cfg cache.Config, par Params) (*Result, error) {
+// Analyze expands p and analyzes it on cfg with parameters par. The analysis
+// is cooperatively cancellable: when ctx is canceled or its deadline passes,
+// the fixpoint unwinds and the call returns a typed interrupt error
+// (interrupt.ErrCanceled / interrupt.ErrDeadline).
+func Analyze(ctx context.Context, p *isa.Program, cfg cache.Config, par Params) (*Result, error) {
 	x, err := vivu.Expand(p)
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeX(x, cfg, par)
+	return AnalyzeX(ctx, x, cfg, par)
 }
 
 // AnalyzeX analyzes a pre-expanded program. The expansion depends only on
 // the control-flow structure, not on the instruction sequences, so the
 // optimizer reuses one expansion across its insertion iterations.
-func AnalyzeX(x *vivu.Prog, cfg cache.Config, par Params) (*Result, error) {
+func AnalyzeX(ctx context.Context, x *vivu.Prog, cfg cache.Config, par Params) (*Result, error) {
 	if err := par.Valid(); err != nil {
 		return nil, err
 	}
@@ -90,7 +94,10 @@ func AnalyzeX(x *vivu.Prog, cfg cache.Config, par Params) (*Result, error) {
 	}
 	statFull.Add(1)
 	lay := isa.NewLayout(x.Prog)
-	ai := absint.Analyze(x, lay, cfg, int(par.Lambda))
+	ai, err := absint.Analyze(ctx, x, lay, cfg, int(par.Lambda))
+	if err != nil {
+		return nil, err
+	}
 	return assemble(x, cfg, par, lay, ai, nil)
 }
 

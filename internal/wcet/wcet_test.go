@@ -1,6 +1,7 @@
 package wcet
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -14,9 +15,9 @@ var testPar = Params{HitCycles: 1, MissPenalty: 9, Lambda: 10}
 
 func analyze(t *testing.T, p *isa.Program, cfg cache.Config) *Result {
 	t.Helper()
-	res, err := Analyze(p, cfg, testPar)
+	res, err := Analyze(context.Background(), p, cfg, testPar)
 	if err != nil {
-		t.Fatalf("Analyze(%s): %v", p.Name, err)
+		t.Fatalf("Analyze(context.Background(), %s): %v", p.Name, err)
 	}
 	return res
 }
@@ -168,7 +169,7 @@ func TestStructuralMatchesIPET(t *testing.T) {
 	for i := 0; i < 25; i++ {
 		p := randomProgram(rng, "rnd")
 		for _, cfg := range cfgs {
-			res, err := Analyze(p, cfg, testPar)
+			res, err := Analyze(context.Background(), p, cfg, testPar)
 			if err != nil {
 				t.Fatalf("Analyze: %v", err)
 			}
@@ -194,7 +195,7 @@ func TestStructuralCountsFeasible(t *testing.T) {
 	cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 256}
 	for i := 0; i < 25; i++ {
 		p := randomProgram(rng, "feas")
-		res, err := Analyze(p, cfg, testPar)
+		res, err := Analyze(context.Background(), p, cfg, testPar)
 		if err != nil {
 			t.Fatal(err)
 		}
