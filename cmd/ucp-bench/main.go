@@ -24,6 +24,7 @@ import (
 	"ucp/internal/cliutil"
 	"ucp/internal/experiment"
 	"ucp/internal/interrupt"
+	"ucp/internal/obs"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 		budget   = flag.Int("budget", 0, "optimizer validation budget per cell (0 = default)")
 		workers  = flag.Int("workers", 0, "cells analyzed concurrently (0 = GOMAXPROCS, 1 = serial)")
 		progress = flag.Bool("progress", false, "print one line per completed cell to stderr")
+		verbose  = flag.Bool("v", false, "print per-cell completion lines (benchmark, config, policy, duration) to stderr via the span recorder")
 		out      = flag.String("out", "", "also write the report to this file")
 		csvOut   = flag.String("csv", "", "write the raw per-use-case measurements to this CSV file")
 	)
@@ -88,6 +90,31 @@ func main() {
 	// the exit code is non-zero.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// -v hangs per-cell completion lines off the span recorder: every
+	// "experiment.cell" span that ends is one analyzed use case. The same
+	// spans feed ?trace=1 in ucp-serve; here they feed stderr.
+	if *verbose {
+		rec := obs.NewRecorder("sweep")
+		rec.OnEnd = func(name string, d time.Duration, attrs []obs.Attr) {
+			if name != "experiment.cell" {
+				return
+			}
+			get := func(key string) any {
+				for _, a := range attrs {
+					if a.Key == key {
+						return a.Value
+					}
+				}
+				return ""
+			}
+			fmt.Fprintf(os.Stderr, "cell %-12v %-4v %-5v %-5v inserted=%-3v %v\n",
+				get("program"), get("config"), get("tech"), get("policy"),
+				get("inserted"), d.Round(time.Millisecond))
+		}
+		ctx = rec.Install(ctx)
+		defer rec.Release()
+	}
 
 	start := time.Now()
 	suite, err := experiment.Sweep(ctx, opts)

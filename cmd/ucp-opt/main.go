@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ucp-opt -program fdct -config k5 -tech 45nm [-policy lru|fifo|plru] [-budget 700] [-dump]
+//	ucp-opt -program fdct -config k5 -tech 45nm [-policy lru|fifo|plru] [-budget 700] [-dump] [-explain]
 package main
 
 import (
@@ -30,6 +30,7 @@ func main() {
 		tech    = flag.String("tech", "45nm", "process technology: 45nm or 32nm")
 		budget  = flag.Int("budget", 0, "validation budget (0 = default)")
 		dump    = flag.Bool("dump", false, "dump the optimized program's prefetch instructions")
+		explain = flag.Bool("explain", false, "print the per-candidate decision report (why each prefetch was inserted or rejected)")
 	)
 	flag.Parse()
 
@@ -55,7 +56,9 @@ func main() {
 	defer stop()
 
 	mdl := energy.NewModel(cfg, tn)
-	opt, rep, err := core.Optimize(ctx, prog, cfg, core.Options{Par: mdl.WCETParams(), ValidationBudget: *budget})
+	opt, rep, err := core.Optimize(ctx, prog, cfg, core.Options{
+		Par: mdl.WCETParams(), ValidationBudget: *budget, Explain: *explain,
+	})
 	if err != nil {
 		if interrupt.Is(err) {
 			fmt.Fprintln(os.Stderr, "ucp-opt: interrupted — optimization aborted, no output produced")
@@ -84,6 +87,33 @@ func main() {
 	fmt.Printf("WCET-scenario fetches %d -> %d (%+.2f%%)\n",
 		rep.FetchesBefore, rep.FetchesAfter,
 		100*(float64(rep.FetchesAfter)/float64(rep.FetchesBefore)-1))
+
+	if *explain {
+		fmt.Println("\ndecision report (candidate → verdict):")
+		for _, d := range rep.Decisions {
+			verdict := "rejected"
+			if d.Inserted {
+				verdict = "INSERTED"
+			}
+			fmt.Printf("  bb%d[%d] target %#x: %-8s %-18s", d.Block, d.Index, d.Target, verdict, d.Reason)
+			switch d.Reason {
+			case "no-next-use":
+				// No insertion point was ever established; the costs are
+				// meaningless for this candidate.
+			case "terminator":
+				fmt.Printf(" use=bb%d[%d] mcost=%d", d.Use.Block, d.Use.Index, d.MCost)
+			default:
+				fmt.Printf(" at=bb%d[%d] use=bb%d[%d] mcost=%d pcost=%d",
+					d.At.Block, d.At.Index, d.Use.Block, d.Use.Index, d.MCost, d.PCost)
+				if d.RCost > 0 {
+					fmt.Printf(" rcost=%d", d.RCost)
+				}
+				fmt.Printf(" gap=%d Λ=%d effective=%t profitable=%t",
+					d.Gap, d.Lambda, d.Effective, d.Profitable)
+			}
+			fmt.Println()
+		}
+	}
 
 	if *dump {
 		fmt.Println("\ninserted prefetch instructions:")

@@ -40,10 +40,17 @@ func main() {
 		timeout = flag.Duration("job-timeout", 15*time.Minute, "per-sweep-job deadline")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 		pprofAt = flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
+		logJSON = flag.Bool("log-json", false, "emit request logs as JSON lines instead of logfmt-style text")
 	)
 	flag.Parse()
 
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	// One structured line per request (with its request ID) comes from the
+	// service's logging middleware; this only picks the encoding.
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	// Profiling is off by default: the API handler never touches
 	// http.DefaultServeMux, so the pprof routes are reachable only through

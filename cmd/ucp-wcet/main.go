@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ucp-wcet -program crc -config k14 -tech 45nm [-policy lru|fifo|plru] [-ilp] [-contexts]
+//	ucp-wcet -program crc -config k14 -tech 45nm [-policy lru|fifo|plru] [-ilp] [-contexts] [-trace]
 package main
 
 import (
@@ -13,11 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"ucp/internal/absint"
 	"ucp/internal/cliutil"
 	"ucp/internal/energy"
 	"ucp/internal/ipet"
+	"ucp/internal/obs"
 	"ucp/internal/wcet"
 )
 
@@ -29,6 +32,7 @@ func main() {
 		tech     = flag.String("tech", "45nm", "process technology: 45nm or 32nm")
 		ilpCheck = flag.Bool("ilp", false, "cross-check the structural solver against the IPET ILP")
 		contexts = flag.Bool("contexts", false, "print the per-context classification table")
+		trace    = flag.Bool("trace", false, "print the pipeline span tree (where the analysis time went)")
 	)
 	flag.Parse()
 
@@ -48,7 +52,13 @@ func main() {
 	}
 
 	mdl := energy.NewModel(cfg, tn)
-	res, err := wcet.Analyze(context.Background(), b.Prog, cfg, mdl.WCETParams())
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if *trace {
+		rec = obs.NewRecorder("wcet")
+		ctx = rec.Install(ctx)
+	}
+	res, err := wcet.Analyze(ctx, b.Prog, cfg, mdl.WCETParams())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
@@ -97,6 +107,12 @@ func main() {
 		fmt.Printf("IPET ILP        τ_w = %d  [%s]\n", ref.TauW, status)
 	}
 
+	if rec != nil {
+		rec.Release()
+		fmt.Println("\ntrace (span, wall time, attributes):")
+		printSpanTree(rec.Tree(), 1)
+	}
+
 	if *contexts {
 		fmt.Println("\nper-context summary (block, context, n_w, AH/AM/NC):")
 		for _, xb := range res.X.Blocks {
@@ -122,4 +138,26 @@ func pct(a, b int64) float64 {
 		return 0
 	}
 	return 100 * float64(a) / float64(b)
+}
+
+// printSpanTree renders a span tree indented, attributes sorted so the
+// output is stable.
+func printSpanTree(t *obs.SpanTree, depth int) {
+	fmt.Printf("%s%-16s %8.3fms", strings.Repeat("  ", depth), t.Name,
+		float64(t.DurationUS)/1000)
+	keys := make([]string, 0, len(t.Attrs))
+	for k := range t.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s=%v", k, t.Attrs[k])
+	}
+	if t.Dropped > 0 {
+		fmt.Printf("  dropped_children=%d", t.Dropped)
+	}
+	fmt.Println()
+	for _, c := range t.Children {
+		printSpanTree(c, depth+1)
+	}
 }

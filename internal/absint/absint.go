@@ -655,6 +655,8 @@ type analyzer struct {
 	ownOut     []bool
 	dirty      []bool
 	outChanged []bool
+	// rounds counts cyclic-component convergence rounds, for tracing.
+	rounds int
 	// scrA/scrB ping-pong through multi-predecessor joins; empty is the
 	// cold-cache entry state.
 	scrA, scrB, empty *State
@@ -804,6 +806,7 @@ func (a *analyzer) solve(plan *sccPlan) error {
 			a.dirty[id] = true
 		}
 		for changed := true; changed; {
+			a.rounds++
 			if err := a.chk.Check(); err != nil {
 				return err
 			}

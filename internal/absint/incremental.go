@@ -6,6 +6,7 @@ import (
 	"ucp/internal/cache"
 	"ucp/internal/interrupt"
 	"ucp/internal/isa"
+	"ucp/internal/obs"
 	"ucp/internal/vivu"
 )
 
@@ -59,6 +60,8 @@ func analyze(ctx context.Context, x *vivu.Prog, lay *isa.Layout, cfg cache.Confi
 	if err := interrupt.Cause(ctx); err != nil {
 		return nil, err
 	}
+	ctx, span := obs.Start(ctx, "absint.solve")
+	defer span.End()
 	n := len(x.Blocks)
 	res := &Result{
 		X:         x,
@@ -201,6 +204,17 @@ func analyze(ctx context.Context, x *vivu.Prog, lay *isa.Layout, cfg cache.Confi
 	a.ownOut = flags(&sc.ownOut, n)
 	a.dirty = dirty
 	a.outChanged = flags(&sc.outChanged, n)
+	if span != nil {
+		nd := 0
+		for _, d := range dirty {
+			if d {
+				nd++
+			}
+		}
+		span.Attr("incremental", !full)
+		span.Attr("blocks", n)
+		span.Attr("dirty_blocks", nd)
+	}
 	if !full {
 		copy(a.out, prev.out)
 	}
@@ -250,6 +264,19 @@ func analyze(ctx context.Context, x *vivu.Prog, lay *isa.Layout, cfg cache.Confi
 	a.sp.put(walk)
 	a.sp.put(a.scrA)
 	a.sp.put(a.scrB)
+	if span != nil {
+		span.Attr("rounds", a.rounds)
+		span.Attr("states_pooled", len(sc.sp.free))
+		if res.Changed != nil {
+			nc := 0
+			for _, c := range res.Changed {
+				if c {
+					nc++
+				}
+			}
+			span.Attr("changed_blocks", nc)
+		}
+	}
 	return res, nil
 }
 

@@ -37,6 +37,7 @@ import (
 	"ucp/internal/cache"
 	"ucp/internal/interrupt"
 	"ucp/internal/isa"
+	"ucp/internal/obs"
 	"ucp/internal/vivu"
 	"ucp/internal/wcet"
 )
@@ -70,6 +71,56 @@ type Options struct {
 	// the batched bisection accepts them in few analyses and the budget
 	// only trims the long tail of rejections.
 	ValidationBudget int
+	// Explain records one Decision per distinct prefetch candidate into
+	// Report.Decisions: the costs the joint improvement criterion weighed
+	// and the condition that decided the candidate's fate. Off by default —
+	// the log costs an allocation per candidate.
+	Explain bool
+}
+
+// Decision is one entry of the explain report: a prefetch candidate,
+// identified by the replacing reference r_i and the replaced memory block,
+// together with the quantities the joint improvement criterion weighs — the
+// mcost/pcost/rcost terms of Equation 9 — and the condition that decided it.
+type Decision struct {
+	// Block and Index locate the replacing reference r_i in original
+	// program coordinates; Target is the replaced memory block s' the
+	// prefetch would load.
+	Block  int    `json:"block"`
+	Index  int    `json:"index"`
+	Target uint64 `json:"target"`
+
+	// At is the chosen insertion point (original coordinates) and Before
+	// its placement side; Use is the targeted reference r_j. Meaningful
+	// once an insertion point was found — not for the "no-next-use" and
+	// "terminator" rejections.
+	At     isa.InstrRef `json:"insert_at"`
+	Before bool         `json:"insert_before,omitempty"`
+	Use    isa.InstrRef `json:"use"`
+
+	// MCost is the τ_w contribution of the targeted miss — what the
+	// prefetch can save (Equation 2 for r_j). PCost is the fetch cost of
+	// executing the prefetch itself in the WCET scenario (hit time × the
+	// insertion block's n_w). RCost is the τ_w regression observed when a
+	// sound re-analysis rejected the insertion; zero everywhere else.
+	MCost int64 `json:"mcost"`
+	PCost int64 `json:"pcost"`
+	RCost int64 `json:"rcost"`
+
+	// Gap is the WCET-scenario time between the insertion point and the
+	// use; effectiveness (Definition 10) requires Gap ≥ Lambda.
+	Gap    int64 `json:"gap"`
+	Lambda int64 `json:"lambda"`
+
+	Effective  bool `json:"effective"`
+	Profitable bool `json:"profitable"`
+	Inserted   bool `json:"inserted"`
+	// Reason is the deciding condition: "inserted", or the first check
+	// that failed — "no-next-use", "terminator", "target-is-prefetch",
+	// "already-hit", "ineffective", "duplicate", "validation" (the sound
+	// re-analysis measured a regression; see RCost), or "pruned" (it was
+	// committed, then removed by the cleanup pass as a parasite).
+	Reason string `json:"reason"`
 }
 
 // Report summarizes one optimization run.
@@ -94,6 +145,10 @@ type Report struct {
 	MissesAfter   int64
 	FetchesBefore int64
 	FetchesAfter  int64
+
+	// Decisions is the explain report (Options.Explain): one entry per
+	// distinct candidate, inserted and rejected alike.
+	Decisions []Decision `json:"decisions,omitempty"`
 }
 
 // Optimize returns a prefetch-equivalent optimized copy of p for the given
@@ -112,8 +167,10 @@ func Optimize(ctx context.Context, p *isa.Program, cfg cache.Config, opt Options
 	if err := cfg.Valid(); err != nil {
 		return nil, nil, err
 	}
+	ctx, span := obs.Start(ctx, "core.optimize")
+	defer span.End()
 	q := p.Clone()
-	x, err := vivu.Expand(q)
+	x, err := vivu.ExpandCtx(ctx, q)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -144,6 +201,9 @@ func Optimize(ctx context.Context, p *isa.Program, cfg cache.Config, opt Options
 		x: x, cfg: cfg, bwCfg: bwCfg, opt: opt, rep: rep, res: res,
 		rejected: map[candidateKey]bool{},
 		ctx:      ctx, chk: interrupt.NewChecker(ctx, 64),
+	}
+	if opt.Explain {
+		o.dec = newDecisionLog()
 	}
 	o.topoPos = make([]int, len(x.Blocks))
 	for i, id := range x.Topo {
@@ -192,6 +252,21 @@ func Optimize(ctx context.Context, p *isa.Program, cfg cache.Config, opt Options
 	rep.TauAfter = o.res.TauW
 	rep.MissesAfter = o.res.Misses
 	rep.FetchesAfter = o.res.Fetches
+	if o.dec != nil {
+		rep.Decisions = o.dec.list
+	}
+	if span != nil {
+		span.Attr("candidates", rep.Candidates)
+		span.Attr("inserted", rep.Inserted)
+		span.Attr("rejected", rep.RejectedTerminator+rep.RejectedNoUse+
+			rep.RejectedAlreadyHit+rep.RejectedIneffective+
+			rep.RejectedTargetIsPft+rep.RejectedDuplicate+rep.RejectedValidation)
+		span.Attr("passes", rep.Passes)
+		span.Attr("pruned", rep.Pruned)
+		span.Attr("validations", rep.Validations)
+		span.Attr("tau_before", rep.TauBefore)
+		span.Attr("tau_after", rep.TauAfter)
+	}
 	// With validation active, Theorem 1 holds by construction; any
 	// violation is an internal error. The DisableValidation ablation is
 	// exactly the mode that may break the guarantee, so it is exempt.
@@ -218,6 +293,7 @@ type candidate struct {
 	use    isa.InstrRef // the targeted reference r_j
 	key    candidateKey
 	value  int64 // τ_w contribution of the targeted miss (ranking key)
+	gap    int64 // WCET-scenario time between insertion point and use
 }
 
 type optimizer struct {
@@ -265,6 +341,13 @@ type optimizer struct {
 	// rejected memoizes validation failures so later sweeps do not re-pay
 	// the full re-analysis for a candidate already refuted.
 	rejected map[candidateKey]bool
+	// dec is the explain log (nil unless Options.Explain); decRefs keeps
+	// each committed decision pinned to its instruction's live coordinates.
+	dec     *decisionLog
+	decRefs []decRef
+	// lastTauDelta is the τ_w movement of the most recent rejected
+	// trySubset, for attributing rcost to single-candidate rejections.
+	lastTauDelta int64
 	// insLog records committed insertions so sibling bisection branches
 	// can shift their pending coordinates.
 	insLog []insertion
@@ -333,35 +416,83 @@ func (o *optimizer) screen(r vivu.Ref, evicted uint64) (candidate, bool) {
 	use, gap, path, found := o.findNextUse(r, evicted)
 	if !found {
 		o.rep.RejectedNoUse++
+		if o.dec != nil {
+			o.explainReject(key, "no-next-use", Decision{})
+		}
 		return candidate{}, false
 	}
 	anchor := o.slidePlacement(path, use)
 	at, before, ok := o.insertionPoint(anchor, res.X.InstrRef(anchor))
 	if !ok {
 		o.rep.RejectedTerminator++
+		if o.dec != nil {
+			o.explainReject(key, "terminator", Decision{
+				Use: res.X.InstrRef(use), MCost: res.Contribution(use), Gap: gap,
+			})
+		}
 		return candidate{}, false
 	}
 	useRef := res.X.InstrRef(use)
 	if res.Prog.Instr(useRef).Kind == isa.KindPrefetch {
 		// Equation 9: profit is zero when r_j is a prefetch.
 		o.rep.RejectedTargetIsPft++
+		if o.dec != nil {
+			o.explainReject(key, "target-is-prefetch", Decision{
+				At: at, Before: before, Use: useRef,
+				PCost: o.explainPCost(at.Block), Gap: gap,
+				Effective: gap >= o.opt.Par.Lambda,
+			})
+		}
 		return candidate{}, false
 	}
 	if !o.opt.DisableMissCheck && res.RefTime(use) <= o.opt.Par.HitCycles {
 		o.rep.RejectedAlreadyHit++
+		if o.dec != nil {
+			o.explainReject(key, "already-hit", Decision{
+				At: at, Before: before, Use: useRef,
+				MCost: res.Contribution(use), PCost: o.explainPCost(at.Block), Gap: gap,
+				Effective: gap >= o.opt.Par.Lambda,
+			})
+		}
 		return candidate{}, false
 	}
 	if !o.opt.DisableEffectiveness && gap < o.opt.Par.Lambda {
 		// Definition 10: Λ must not exceed the WCET-scenario time spent
 		// between the insertion point and the use.
 		o.rep.RejectedIneffective++
+		if o.dec != nil {
+			o.explainReject(key, "ineffective", Decision{
+				At: at, Before: before, Use: useRef,
+				MCost: res.Contribution(use), PCost: o.explainPCost(at.Block), Gap: gap,
+				Profitable: res.Contribution(use) > o.explainPCost(at.Block),
+			})
+		}
 		return candidate{}, false
 	}
 	if o.duplicateAt(at, evicted) {
 		o.rep.RejectedDuplicate++
+		if o.dec != nil {
+			o.explainReject(key, "duplicate", Decision{
+				At: at, Before: before, Use: useRef,
+				MCost: res.Contribution(use), PCost: o.explainPCost(at.Block), Gap: gap,
+				Effective: true,
+			})
+		}
 		return candidate{}, false
 	}
-	return candidate{at: at, before: before, use: useRef, key: key, value: res.Contribution(use)}, true
+	return candidate{
+		at: at, before: before, use: useRef, key: key,
+		value: res.Contribution(use), gap: gap,
+	}, true
+}
+
+// explainPCost is insertionFetchCost gated on the explain log being live,
+// so the disabled path never pays the block scan.
+func (o *optimizer) explainPCost(block int) int64 {
+	if o.dec == nil {
+		return 0
+	}
+	return o.insertionFetchCost(block)
 }
 
 // bisect commits as many of the candidates as the sound analysis accepts:
@@ -383,6 +514,7 @@ func (o *optimizer) bisect(cands []candidate) (int, error) {
 	if len(cands) == 1 {
 		o.rejected[cands[0].key] = true
 		o.rep.RejectedValidation++
+		o.explainValidationReject(cands[0], o.lastTauDelta)
 		return 0, nil
 	}
 	mid := len(cands) / 2
@@ -440,6 +572,10 @@ func (o *optimizer) trySubset(cands []candidate) (bool, error) {
 		pads = o.cfg.BlockBytes/isa.InstrBytes - 1
 	}
 	var inserted []insertion
+	var poss []isa.InstrRef
+	if o.dec != nil {
+		poss = make([]isa.InstrRef, len(sorted))
+	}
 	for ci, c := range sorted {
 		ins := isa.Instr{Kind: isa.KindPrefetch, Target: c.use}
 		var pos isa.InstrRef
@@ -447,6 +583,9 @@ func (o *optimizer) trySubset(cands []candidate) (bool, error) {
 			pos = prog.InsertInstrBefore(c.at, ins)
 		} else {
 			pos = prog.InsertInstr(c.at, ins)
+		}
+		if poss != nil {
+			poss[ci] = pos
 		}
 		cur := pos
 		for k := 0; k < pads; k++ {
@@ -472,8 +611,14 @@ func (o *optimizer) trySubset(cands []candidate) (bool, error) {
 		for _, ins := range inserted {
 			o.insLog = append(o.insLog, ins)
 		}
+		if o.dec != nil {
+			for ci, c := range sorted {
+				o.explainInsert(c, poss[ci], 1+pads)
+			}
+		}
 		return true, nil
 	}
+	o.lastTauDelta = o.res.TauW - prevRes.TauW
 	for i, b := range prog.Blocks {
 		b.Instrs = snapshot[i]
 	}

@@ -83,6 +83,13 @@ func (o *optimizer) pruneBisect(refs []isa.InstrRef) (int, error) {
 	return n1 + n2, err
 }
 
+// removal records one accepted prefetch deletion: n instructions (the
+// prefetch plus its trailing pads) taken out at ref.
+type removal struct {
+	ref isa.InstrRef
+	n   int
+}
+
 // tryRemoveSubset deletes the prefetches (and their trailing pads, when the
 // PadToBlock ablation added them), re-analyzes, and keeps the removal only
 // when τ_w does not grow and the WCET-scenario miss count does not grow.
@@ -92,19 +99,24 @@ func (o *optimizer) tryRemoveSubset(refs []isa.InstrRef) (bool, error) {
 	for i, b := range prog.Blocks {
 		snapshot[i] = append([]isa.Instr(nil), b.Instrs...)
 	}
+	removed := make([]removal, 0, len(refs))
 	for _, ref := range refs {
 		// Remove trailing pads first so the prefetch's index stays valid.
 		b := prog.Blocks[ref.Block]
+		n := 1
 		for ref.Index+1 < len(b.Instrs) && b.Instrs[ref.Index+1].Kind == isa.KindPad {
 			prog.RemoveInstr(isa.InstrRef{Block: ref.Block, Index: ref.Index + 1})
+			n++
 		}
 		prog.RemoveInstr(ref)
+		removed = append(removed, removal{ref: ref, n: n})
 	}
 	prevRes := o.res
 	if err := o.refresh(); err != nil {
 		return false, err
 	}
 	if o.res.TauW <= prevRes.TauW && o.res.Misses <= prevRes.Misses {
+		o.trackRemovals(removed)
 		return true, nil
 	}
 	for i, b := range prog.Blocks {

@@ -19,6 +19,7 @@ import (
 	"ucp/internal/interrupt"
 	"ucp/internal/isa"
 	"ucp/internal/malardalen"
+	"ucp/internal/obs"
 	"ucp/internal/pool"
 	"ucp/internal/sim"
 )
@@ -36,6 +37,9 @@ type Cell struct {
 	// Cond3Reverted records that the optimized binary was discarded
 	// because its simulated ACET regressed (Condition 3 guard).
 	Cond3Reverted bool
+	// Decisions is the optimizer's explain report (Options.Explain): one
+	// entry per prefetch candidate, inserted and rejected alike.
+	Decisions []core.Decision `json:",omitempty"`
 
 	TauOrig, TauOpt     int64
 	MissWOrig, MissWOpt int64
@@ -87,6 +91,9 @@ type Options struct {
 	// Progress, when non-nil, receives one line per completed cell (in
 	// completion order when Workers > 1).
 	Progress io.Writer
+	// Explain forwards core.Options.Explain: every cell's optimization
+	// records its per-prefetch decision log into Cell.Decisions.
+	Explain bool
 }
 
 // Suite is a completed sweep.
@@ -155,6 +162,9 @@ func Sweep(ctx context.Context, o Options) (*Suite, error) {
 		o.Runs = 3
 	}
 	us := units(o)
+	ctx, span := obs.Start(ctx, "experiment.sweep")
+	span.Attr("cells", len(us))
+	defer span.End()
 	cells := make([]Cell, len(us))
 	var progressMu sync.Mutex
 	p := pool.New(o.Workers)
@@ -201,6 +211,14 @@ func RunCell(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energ
 	if err := faults.Fire(ctx, "experiment.cell", fmt.Sprintf("%s/%s/%v", b.Name, cache.ConfigID(cfgIdx), tech)); err != nil {
 		return Cell{}, err
 	}
+	ctx, span := obs.Start(ctx, "experiment.cell")
+	if span != nil {
+		span.Attr("program", b.Name)
+		span.Attr("config", cache.ConfigID(cfgIdx))
+		span.Attr("tech", tech.String())
+		span.Attr("policy", cfg.Policy.String())
+	}
+	defer span.End()
 	mdl := energy.NewModel(cfg, tech)
 	par := mdl.WCETParams()
 
@@ -211,12 +229,13 @@ func RunCell(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energ
 		Tech:     tech,
 	}
 
-	opt, rep, err := core.Optimize(ctx, b.Prog, cfg, core.Options{Par: par, ValidationBudget: o.ValidationBudget})
+	opt, rep, err := core.Optimize(ctx, b.Prog, cfg, core.Options{Par: par, ValidationBudget: o.ValidationBudget, Explain: o.Explain})
 	if err != nil {
 		return cell, err
 	}
 	cell.Inserted = rep.Inserted
 	cell.Validations = rep.Validations
+	cell.Decisions = rep.Decisions
 	cell.TauOrig, cell.TauOpt = rep.TauBefore, rep.TauAfter
 	cell.MissWOrig, cell.MissWOpt = rep.MissesBefore, rep.MissesAfter
 
@@ -247,6 +266,7 @@ func RunCell(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energ
 			sOpt = sOrig
 		}
 	}
+	span.Attr("inserted", cell.Inserted)
 	cell.ACETOrig, cell.ACETOpt = sOrig.ACETCycles(), sOpt.ACETCycles()
 	cell.MissRateOrig, cell.MissRateOpt = sOrig.MissRate(), sOpt.MissRate()
 	cell.FetchesOrig, cell.FetchesOpt = sOrig.FetchesPerRun(), sOpt.FetchesPerRun()

@@ -11,10 +11,12 @@
 package ipet
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"ucp/internal/ilp"
+	"ucp/internal/obs"
 	"ucp/internal/vivu"
 )
 
@@ -195,6 +197,19 @@ type Result struct {
 	// N[xb] is the execution count n_w of expanded block xb in the WCET
 	// scenario (Section 3.3).
 	N []int64
+}
+
+// SolveCtx is Solve with an "ipet.solve" span recording the instance size
+// and the optimum.
+func (f *Formulation) SolveCtx(ctx context.Context) (*Result, error) {
+	_, sp := obs.Start(ctx, "ipet.solve")
+	res, err := f.Solve()
+	if sp != nil && err == nil {
+		sp.Attr("blocks", len(f.X.Blocks))
+		sp.Attr("tau_w", res.TauW)
+	}
+	sp.End()
+	return res, err
 }
 
 // Solve optimizes the formulation. The LP relaxation of an IPET instance on

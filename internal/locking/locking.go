@@ -17,6 +17,7 @@ import (
 
 	"ucp/internal/cache"
 	"ucp/internal/isa"
+	"ucp/internal/obs"
 	"ucp/internal/vivu"
 	"ucp/internal/wcet"
 )
@@ -38,7 +39,9 @@ type Selection struct {
 // frequency-based content selection for static locking), respecting the
 // per-set way limits of the configuration.
 func Select(ctx context.Context, p *isa.Program, cfg cache.Config, par wcet.Params) (*Selection, error) {
-	x, err := vivu.Expand(p)
+	ctx, span := obs.Start(ctx, "locking.select")
+	defer span.End()
+	x, err := vivu.ExpandCtx(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -122,6 +125,10 @@ func Select(ctx context.Context, p *isa.Program, cfg cache.Config, par wcet.Para
 				sel.Misses += nw[xb.ID]
 			}
 		}
+	}
+	if span != nil {
+		span.Attr("locked_blocks", len(sel.Blocks))
+		span.Attr("tau_w", sel.TauW)
 	}
 	return sel, nil
 }

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family of the given registries in the
+// Prometheus text exposition format (version 0.0.4), families sorted by
+// name across all registries so the output is stable regardless of
+// registration order. A family name registered in more than one of the
+// registries is an error — the exposition format forbids duplicate
+// families, and silently merging two owners would mis-attribute samples.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	type named struct {
+		name string
+		f    *family
+	}
+	var fams []named
+	seen := map[string]bool{}
+	for _, r := range regs {
+		r.mu.Lock()
+		for _, name := range r.names {
+			if seen[name] {
+				r.mu.Unlock()
+				return fmt.Errorf("obs: family %q registered in more than one registry", name)
+			}
+			seen[name] = true
+			fams = append(fams, named{name, r.byName[name]})
+		}
+		r.mu.Unlock()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	ew := &errWriter{w: w}
+	for _, nf := range fams {
+		nf.f.render(ew)
+	}
+	return ew.err
+}
+
+// render writes one family: HELP and TYPE first, then every sample.
+func (f *family) render(w *errWriter) {
+	w.printf("# HELP %s %s\n", f.name, f.help)
+	w.printf("# TYPE %s %s\n", f.name, f.typ)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case f.pullable:
+		for _, s := range f.pull() {
+			if f.labelKey == "" {
+				w.printf("%s %s\n", f.name, formatValue(s.Value))
+			} else {
+				w.printf("%s{%s=\"%s\"} %s\n", f.name, f.labelKey, escapeLabel(s.Label), formatValue(s.Value))
+			}
+		}
+	case f.vec != nil:
+		values := make([]string, 0, len(f.vec))
+		for v := range f.vec {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		for _, v := range values {
+			w.printf("%s{%s=\"%s\"} %d\n", f.name, f.labelKey, escapeLabel(v), f.vec[v].Value())
+		}
+	case f.counter != nil:
+		w.printf("%s %d\n", f.name, f.counter.Value())
+	case f.hist != nil:
+		snap := f.hist.Snapshot()
+		for i, q := range snap.Quantiles {
+			w.printf("%s{quantile=%q} %.6f\n", f.name, strconv.FormatFloat(q, 'g', -1, 64), snap.Values[i])
+		}
+		w.printf("%s_sum %.6f\n", f.name, snap.Sum)
+		w.printf("%s_count %d\n", f.name, snap.Count)
+	}
+}
+
+// formatValue renders a float sample: integral values print without a
+// decimal point (counters and entry counts read naturally), the rest in
+// shortest-roundtrip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// errWriter latches the first write error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Lint checks a Prometheus text exposition for the invariants the
+// renderer promises: every sample belongs to a family whose HELP and TYPE
+// lines precede it, no family appears twice, sample names match their
+// family (allowing the _sum/_count/_bucket suffixes of summaries and
+// histograms), label values are properly quoted and escaped, and every
+// sample parses to a number. It returns the first violation found.
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var (
+		curFam  string // family currently open (HELP+TYPE seen)
+		haveCur bool
+		help    = map[string]bool{}
+		typ     = map[string]bool{}
+		closed  = map[string]bool{} // families already finished
+		line    int
+	)
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			name := metaName(text[len("# HELP "):])
+			if name == "" {
+				return fmt.Errorf("line %d: malformed HELP line", line)
+			}
+			if help[name] {
+				return fmt.Errorf("line %d: duplicate HELP for family %s", line, name)
+			}
+			if closed[name] {
+				return fmt.Errorf("line %d: family %s reopened", line, name)
+			}
+			if haveCur && curFam != name {
+				closed[curFam] = true
+			}
+			help[name] = true
+			curFam, haveCur = name, false
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			rest := text[len("# TYPE "):]
+			name := metaName(rest)
+			if name == "" {
+				return fmt.Errorf("line %d: malformed TYPE line", line)
+			}
+			if typ[name] {
+				return fmt.Errorf("line %d: duplicate TYPE for family %s", line, name)
+			}
+			if !help[name] || curFam != name {
+				return fmt.Errorf("line %d: TYPE %s without preceding HELP", line, name)
+			}
+			kind := strings.TrimSpace(rest[len(name):])
+			switch kind {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", line, kind)
+			}
+			typ[name] = true
+			haveCur = true
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // other comments are legal
+		}
+		// A sample line: name[{labels}] value
+		if !haveCur {
+			return fmt.Errorf("line %d: sample before any HELP/TYPE: %q", line, text)
+		}
+		name, rest, err := splitSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		if !sampleBelongs(name, curFam) {
+			return fmt.Errorf("line %d: sample %s outside its family (current family %s)", line, name, curFam)
+		}
+		if _, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err != nil {
+			return fmt.Errorf("line %d: non-numeric sample value %q", line, strings.TrimSpace(rest))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// metaName extracts the leading metric name of a HELP/TYPE payload.
+func metaName(s string) string {
+	i := strings.IndexAny(s, " \t")
+	if i <= 0 {
+		return strings.TrimSpace(s)
+	}
+	return s[:i]
+}
+
+// sampleBelongs reports whether a sample name belongs to family fam,
+// allowing the summary/histogram child suffixes.
+func sampleBelongs(name, fam string) bool {
+	if name == fam {
+		return true
+	}
+	for _, suf := range []string{"_sum", "_count", "_bucket"} {
+		if name == fam+suf {
+			return true
+		}
+	}
+	return false
+}
+
+// splitSample splits one sample line into its metric name and the value
+// text, validating the label block's quoting and escaping on the way.
+func splitSample(s string) (name, value string, err error) {
+	brace := strings.IndexByte(s, '{')
+	if brace < 0 {
+		sp := strings.IndexAny(s, " \t")
+		if sp <= 0 {
+			return "", "", fmt.Errorf("malformed sample %q", s)
+		}
+		return s[:sp], s[sp+1:], nil
+	}
+	name = s[:brace]
+	if name == "" {
+		return "", "", fmt.Errorf("malformed sample %q", s)
+	}
+	// Walk the label block respecting quotes and escapes.
+	i := brace + 1
+	for i < len(s) && s[i] != '}' {
+		// label name
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return "", "", fmt.Errorf("unterminated label in %q", s)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return "", "", fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++ // past opening quote
+		for i < len(s) {
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) {
+					return "", "", fmt.Errorf("dangling escape in %q", s)
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return "", "", fmt.Errorf("invalid escape \\%c in %q", s[i+1], s)
+				}
+				i += 2
+			case '"':
+				goto closedQuote
+			case '\n':
+				return "", "", fmt.Errorf("raw newline in label value of %q", s)
+			default:
+				i++
+			}
+		}
+		return "", "", fmt.Errorf("unterminated label value in %q", s)
+	closedQuote:
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+	if i >= len(s) || s[i] != '}' {
+		return "", "", fmt.Errorf("unterminated label block in %q", s)
+	}
+	rest := strings.TrimSpace(s[i+1:])
+	if rest == "" {
+		return "", "", fmt.Errorf("sample %q has no value", s)
+	}
+	return name, rest, nil
+}

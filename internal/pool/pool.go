@@ -19,9 +19,9 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"ucp/internal/faults"
+	"ucp/internal/obs"
 )
 
 // PanicError is a panic recovered at a task boundary, preserved as an
@@ -43,11 +43,13 @@ func (e *PanicError) Error() string {
 }
 
 // panicsRecovered counts every panic converted to a *PanicError, process
-// wide; the service exposes it as ucp_panics_recovered_total.
-var panicsRecovered atomic.Int64
+// wide, registered directly in the obs registry as
+// ucp_panics_recovered_total.
+var panicsRecovered = obs.NewCounter("ucp_panics_recovered_total",
+	"Panics recovered from analysis tasks.")
 
 // PanicsRecovered returns the process-wide recovered-panic count.
-func PanicsRecovered() int64 { return panicsRecovered.Load() }
+func PanicsRecovered() int64 { return panicsRecovered.Value() }
 
 // Recover runs fn and converts a panic into a *PanicError (Task = -1).
 // It is the isolation primitive ForEach applies per task; callers that
@@ -60,7 +62,7 @@ func Recover(fn func() error) (err error) {
 func recoverTask(task int, fn func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			panicsRecovered.Add(1)
+			panicsRecovered.Inc()
 			err = &PanicError{Task: task, Value: r, Stack: debug.Stack()}
 		}
 	}()

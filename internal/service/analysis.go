@@ -9,6 +9,7 @@ import (
 
 	"ucp/internal/cache"
 	"ucp/internal/cliutil"
+	"ucp/internal/core"
 	"ucp/internal/energy"
 	"ucp/internal/experiment"
 	"ucp/internal/faults"
@@ -144,12 +145,23 @@ func cacheKey(fp string, cfg cache.Config, tech energy.Tech, runs, budget int) s
 // polls ctx cooperatively; an interrupted analysis returns a typed
 // interrupt error and caches nothing.
 func (s *Server) analyze(ctx context.Context, uc useCase) (res Result, cached bool, err error) {
+	res, _, cached, err = s.analyzeExplain(ctx, uc, false)
+	return res, cached, err
+}
+
+// analyzeExplain is analyze with an optional per-prefetch-decision explain
+// report. An explaining request bypasses the cache *read* — the cached
+// Result carries no decisions, and a trace of a cache hit would explain
+// nothing — but still publishes its Result for later plain requests.
+func (s *Server) analyzeExplain(ctx context.Context, uc useCase, explain bool) (res Result, decisions []core.Decision, cached bool, err error) {
 	key := cacheKey(isa.Fingerprint(uc.bench.Prog), uc.cfg, uc.tech, uc.runs, uc.budget)
-	if v, ok := s.cache.get(key); ok {
-		return v, true, nil
+	if !explain {
+		if v, ok := s.cache.get(key); ok {
+			return v, nil, true, nil
+		}
 	}
 	if err := faults.Fire(ctx, "service.analyze", uc.bench.Name); err != nil {
-		return Result{}, false, err
+		return Result{}, nil, false, err
 	}
 
 	start := time.Now()
@@ -158,13 +170,14 @@ func (s *Server) analyze(ctx context.Context, uc useCase) (res Result, cached bo
 		Runs:             uc.runs,
 		ValidationBudget: uc.budget,
 		SkipReduced:      true,
+		Explain:          explain,
 	})
 	s.metrics.observeAnalysis(time.Since(start), err == nil)
 	s.metrics.countPolicy(uc.cfg.Policy.String())
 	if err != nil {
 		// The pipeline is total over the suite, so this is unexpected;
 		// it is not a cacheable result either way.
-		return Result{}, false, fmt.Errorf("analyze %s/%s/%s: %w",
+		return Result{}, nil, false, fmt.Errorf("analyze %s/%s/%s: %w",
 			uc.bench.Name, cache.ConfigID(uc.cfgIdx), uc.tech, err)
 	}
 	res = Result{
@@ -188,5 +201,5 @@ func (s *Server) analyze(ctx context.Context, uc useCase) (res Result, cached bo
 		CacheKey:      key,
 	}
 	s.cache.put(key, res)
-	return res, false, nil
+	return res, cell.Decisions, false, nil
 }

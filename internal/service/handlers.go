@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"ucp/internal/cache"
+	"ucp/internal/core"
 	"ucp/internal/interrupt"
+	"ucp/internal/obs"
 	"ucp/internal/pool"
 )
 
@@ -189,23 +191,44 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	// ?trace=1 turns on the observability surface for this one request: a
+	// span recorder captures the pipeline's timing tree and the optimizer
+	// produces its per-prefetch-decision explain report. Tracing bypasses
+	// the result-cache read (a cache hit has no pipeline to trace) but the
+	// computed Result is still published for later plain requests.
+	trace := r.URL.Query().Get("trace") == "1"
+	var rec *obs.Recorder
+	if trace {
+		rec = obs.NewRecorder("analyze")
+		rec.Root().Attr("request_id", requestID(r.Context()))
+		rec.Root().Attr("program", uc.bench.Name)
+		defer rec.Release()
+		ctx = rec.Install(ctx)
+	}
 	// The synchronous path still goes through the shared pool so a burst
 	// of /v1/analyze requests cannot oversubscribe the machine; one
 	// request occupies exactly one worker slot.
 	var (
-		res    Result
-		cached bool
+		res       Result
+		decisions []core.Decision
+		cached    bool
 	)
 	perr := s.pool.ForEach(ctx, 1, func(ctx context.Context, _ int) error {
 		var aerr error
-		res, cached, aerr = s.analyze(ctx, uc)
+		res, decisions, cached, aerr = s.analyzeExplain(ctx, uc, trace)
 		return aerr
 	})
 	if perr != nil {
 		s.analyzeErr(w, perr)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, analyzeResponse{Result: res, Cached: cached})
+	resp := analyzeResponse{Result: res, Cached: cached}
+	if rec != nil {
+		rec.Release()
+		resp.Trace = rec.Tree()
+		resp.Explain = decisions
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // analyzeTimeout resolves the per-request deadline: the configured
@@ -248,10 +271,13 @@ func (s *Server) analyzeErr(w http.ResponseWriter, err error) {
 	}
 }
 
-// analyzeResponse wraps a Result with its cache provenance.
+// analyzeResponse wraps a Result with its cache provenance and, for
+// ?trace=1 requests, the span tree and the optimizer's explain report.
 type analyzeResponse struct {
 	Result
-	Cached bool `json:"cached"`
+	Cached  bool            `json:"cached"`
+	Trace   *obs.SpanTree   `json:"trace,omitempty"`
+	Explain []core.Decision `json:"explain,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {

@@ -1,193 +1,97 @@
 package service
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"ucp/internal/pool"
-	"ucp/internal/wcet"
+	"ucp/internal/obs"
 )
 
-// latencyWindow is how many recent analysis latencies the quantile
-// estimator keeps. A fixed ring keeps /metrics O(window) regardless of
-// uptime; with 1024 samples the p99 estimate rests on ~10 observations,
-// coarse but honest for an operational dashboard.
-const latencyWindow = 1024
-
-// metrics holds the server's operational counters. The cache and job
-// counters live with their owners (resultCache, jobStore) and are pulled
-// in at render time; this struct owns the request and latency series.
+// metrics holds the server's operational instruments, all registered in the
+// server's private obs registry so several Servers can coexist in one
+// process (tests do) without sharing counters. Process-wide series — the
+// wcet analysis-mode counters and the pool panic counter — live in
+// obs.Global and are rendered alongside by renderMetrics.
 type metrics struct {
-	mu        sync.Mutex
-	byRoute   map[string]int64
-	byPolicy  map[string]int64       // executed analyses by replacement policy
-	analyses  int64                  // analyses actually executed (cache misses that ran)
-	failures  int64                  // executed analyses that returned an error
-	latencies [latencyWindow]float64 // seconds
-	lat       int                    // next write position
-	latN      int                    // filled entries
-
-	// Fault-tolerance counters; atomics because the hot paths that bump
-	// them (sweep cells, admission checks) should not contend on mu.
-	jobsRejected  atomic.Int64 // sweep submissions refused by admission control
-	cellsCanceled atomic.Int64 // sweep cells stopped by cancellation or deadline
+	requests      *obs.CounterVec // ucp_requests_total{route}
+	policy        *obs.CounterVec // ucp_analysis_policy_total{policy}
+	analyses      *obs.Counter
+	failures      *obs.Counter
+	jobsRejected  *obs.Counter
+	cellsCanceled *obs.Counter
+	latency       *obs.Histogram // rendered as a summary; see obs.Histogram
 }
 
-func newMetrics() *metrics {
-	return &metrics{byRoute: map[string]int64{}, byPolicy: map[string]int64{}}
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		requests: reg.CounterVec("ucp_requests_total",
+			"HTTP requests served, by route.", "route"),
+		policy: reg.CounterVec("ucp_analysis_policy_total",
+			"Executed analyses by cache replacement policy.", "policy"),
+		analyses: reg.Counter("ucp_analyses_total",
+			"Analyses executed (cache misses that ran the optimizer)."),
+		failures: reg.Counter("ucp_analysis_failures_total",
+			"Executed analyses that returned an error."),
+		jobsRejected: reg.Counter("ucp_jobs_rejected_total",
+			"Sweep submissions refused by admission control (429)."),
+		cellsCanceled: reg.Counter("ucp_cells_canceled_total",
+			"Sweep cells stopped by cancellation or deadline."),
+		latency: reg.Histogram("ucp_analysis_latency_seconds",
+			"Latency of executed analyses (recent window).", nil, nil),
+	}
+}
+
+// registerPulls wires the families whose values live with other components
+// — the result cache and the job store — as render-time callbacks. Called
+// once from New after those components exist.
+func (s *Server) registerPulls() {
+	s.reg.CounterFunc("ucp_cache_hits_total", "Result-cache hits.", func() int64 {
+		hits, _, _ := s.cache.stats()
+		return hits
+	})
+	s.reg.CounterFunc("ucp_cache_misses_total", "Result-cache misses.", func() int64 {
+		_, misses, _ := s.cache.stats()
+		return misses
+	})
+	s.reg.GaugeFunc("ucp_cache_entries", "Resident result-cache entries.", func() float64 {
+		_, _, entries := s.cache.stats()
+		return float64(entries)
+	})
+	s.reg.GaugeVecFunc("ucp_jobs", "Sweep jobs by state.", "state", func() []obs.Sample {
+		counts := s.jobs.counts()
+		out := make([]obs.Sample, 0, 4)
+		for _, st := range []jobState{jobQueued, jobRunning, jobDone, jobFailed} {
+			out = append(out, obs.Sample{Label: string(st), Value: float64(counts[st])})
+		}
+		return out
+	})
 }
 
 // countRequest bumps the per-route request counter.
-func (m *metrics) countRequest(route string) {
-	m.mu.Lock()
-	m.byRoute[route]++
-	m.mu.Unlock()
-}
+func (m *metrics) countRequest(route string) { m.requests.With(route).Inc() }
 
 // countPolicy bumps the per-replacement-policy analysis counter.
-func (m *metrics) countPolicy(policy string) {
-	m.mu.Lock()
-	m.byPolicy[policy]++
-	m.mu.Unlock()
-}
+func (m *metrics) countPolicy(policy string) { m.policy.With(policy).Inc() }
 
 // countJobRejected records one sweep submission refused with 429.
-func (m *metrics) countJobRejected() { m.jobsRejected.Add(1) }
+func (m *metrics) countJobRejected() { m.jobsRejected.Inc() }
 
 // countCellCanceled records one sweep cell stopped by a cancellation or
 // deadline rather than by finishing.
-func (m *metrics) countCellCanceled() { m.cellsCanceled.Add(1) }
+func (m *metrics) countCellCanceled() { m.cellsCanceled.Inc() }
 
 // observeAnalysis records one executed (non-cached) analysis.
 func (m *metrics) observeAnalysis(d time.Duration, ok bool) {
-	m.mu.Lock()
-	m.analyses++
+	m.analyses.Inc()
 	if !ok {
-		m.failures++
+		m.failures.Inc()
 	}
-	m.latencies[m.lat] = d.Seconds()
-	m.lat = (m.lat + 1) % latencyWindow
-	if m.latN < latencyWindow {
-		m.latN++
-	}
-	m.mu.Unlock()
+	m.latency.Observe(d.Seconds())
 }
 
-// quantiles returns the requested quantiles over the latency window using
-// the nearest-rank method, or zeros when nothing has been observed.
-func (m *metrics) quantiles(qs ...float64) []float64 {
-	m.mu.Lock()
-	sorted := make([]float64, m.latN)
-	copy(sorted, m.latencies[:m.latN])
-	m.mu.Unlock()
-	out := make([]float64, len(qs))
-	if len(sorted) == 0 {
-		return out
-	}
-	sort.Float64s(sorted)
-	for i, q := range qs {
-		rank := int(q * float64(len(sorted)-1))
-		out[i] = sorted[rank]
-	}
-	return out
-}
-
-// render writes the Prometheus text exposition of every counter the server
-// keeps: requests, cache effectiveness, job states, and analysis latency.
+// renderMetrics writes the Prometheus text exposition: the server's own
+// families plus the process-wide ones (wcet analysis modes, recovered
+// panics) from the Global registry.
 func (s *Server) renderMetrics(w io.Writer) error {
-	ew := &metricsWriter{w: w}
-
-	ew.head("ucp_requests_total", "counter", "HTTP requests served, by route.")
-	s.metrics.mu.Lock()
-	routes := make([]string, 0, len(s.metrics.byRoute))
-	for r := range s.metrics.byRoute {
-		routes = append(routes, r)
-	}
-	sort.Strings(routes)
-	for _, r := range routes {
-		ew.printf("ucp_requests_total{route=%q} %d\n", r, s.metrics.byRoute[r])
-	}
-	analyses, failures := s.metrics.analyses, s.metrics.failures
-	policies := make([]string, 0, len(s.metrics.byPolicy))
-	for p := range s.metrics.byPolicy {
-		policies = append(policies, p)
-	}
-	sort.Strings(policies)
-	policyCounts := make([]int64, len(policies))
-	for i, p := range policies {
-		policyCounts[i] = s.metrics.byPolicy[p]
-	}
-	s.metrics.mu.Unlock()
-
-	hits, misses, entries := s.cache.stats()
-	ew.head("ucp_cache_hits_total", "counter", "Result-cache hits.")
-	ew.printf("ucp_cache_hits_total %d\n", hits)
-	ew.head("ucp_cache_misses_total", "counter", "Result-cache misses.")
-	ew.printf("ucp_cache_misses_total %d\n", misses)
-	ew.head("ucp_cache_entries", "gauge", "Resident result-cache entries.")
-	ew.printf("ucp_cache_entries %d\n", entries)
-
-	ew.head("ucp_analyses_total", "counter", "Analyses executed (cache misses that ran the optimizer).")
-	ew.printf("ucp_analyses_total %d\n", analyses)
-	ew.head("ucp_analysis_failures_total", "counter", "Executed analyses that returned an error.")
-	ew.printf("ucp_analysis_failures_total %d\n", failures)
-
-	ew.head("ucp_analysis_policy_total", "counter", "Executed analyses by cache replacement policy.")
-	for i, p := range policies {
-		ew.printf("ucp_analysis_policy_total{policy=%q} %d\n", p, policyCounts[i])
-	}
-
-	// Incremental-analysis effectiveness: inside every optimizer run, how
-	// many WCET re-validations were served from the previous fixpoint
-	// versus computed from scratch. Process-wide (wcet package counters),
-	// so the sweep engine's cells are included too.
-	as := wcet.Stats()
-	ew.head("ucp_analysis_incremental_hits_total", "counter", "WCET re-analyses seeded incrementally from a previous result.")
-	ew.printf("ucp_analysis_incremental_hits_total %d\n", as.Incremental)
-	ew.head("ucp_analysis_full_reanalyses_total", "counter", "WCET analyses computed from scratch.")
-	ew.printf("ucp_analysis_full_reanalyses_total %d\n", as.Full)
-
-	counts := s.jobs.counts()
-	ew.head("ucp_jobs", "gauge", "Sweep jobs by state.")
-	for _, st := range []jobState{jobQueued, jobRunning, jobDone, jobFailed} {
-		ew.printf("ucp_jobs{state=%q} %d\n", string(st), counts[st])
-	}
-
-	// Fault-tolerance counters. Panics are process-wide (pool package
-	// counter) so panics recovered in ucp-bench sweeps inside this process
-	// are included too.
-	ew.head("ucp_panics_recovered_total", "counter", "Panics recovered from analysis tasks.")
-	ew.printf("ucp_panics_recovered_total %d\n", pool.PanicsRecovered())
-	ew.head("ucp_jobs_rejected_total", "counter", "Sweep submissions refused by admission control (429).")
-	ew.printf("ucp_jobs_rejected_total %d\n", s.metrics.jobsRejected.Load())
-	ew.head("ucp_cells_canceled_total", "counter", "Sweep cells stopped by cancellation or deadline.")
-	ew.printf("ucp_cells_canceled_total %d\n", s.metrics.cellsCanceled.Load())
-
-	qs := s.metrics.quantiles(0.5, 0.99)
-	ew.head("ucp_analysis_latency_seconds", "summary", "Latency of executed analyses (recent window).")
-	ew.printf("ucp_analysis_latency_seconds{quantile=\"0.5\"} %.6f\n", qs[0])
-	ew.printf("ucp_analysis_latency_seconds{quantile=\"0.99\"} %.6f\n", qs[1])
-	return ew.err
-}
-
-// metricsWriter latches the first write error like experiment's errWriter.
-type metricsWriter struct {
-	w   io.Writer
-	err error
-}
-
-func (m *metricsWriter) printf(format string, args ...any) {
-	if m.err != nil {
-		return
-	}
-	_, m.err = fmt.Fprintf(m.w, format, args...)
-}
-
-func (m *metricsWriter) head(name, typ, help string) {
-	m.printf("# HELP %s %s\n", name, help)
-	m.printf("# TYPE %s %s\n", name, typ)
+	return obs.WritePrometheus(w, s.reg, obs.Global())
 }

@@ -27,6 +27,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"strings"
@@ -36,6 +37,7 @@ import (
 
 	"ucp/internal/cache"
 	"ucp/internal/malardalen"
+	"ucp/internal/obs"
 	"ucp/internal/pool"
 )
 
@@ -73,9 +75,11 @@ type Server struct {
 	pool    *pool.Pool
 	cache   *resultCache
 	jobs    *jobStore
+	reg     *obs.Registry
 	metrics *metrics
 	mux     *http.ServeMux
 	log     *slog.Logger
+	reqID   atomic.Int64
 
 	// benches indexes the suite by name; the contained Programs are
 	// treated as read-only and shared across workers (the optimizer
@@ -107,15 +111,18 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:     cfg,
 		pool:    pool.New(cfg.Workers),
 		cache:   newResultCache(cfg.CacheEntries),
 		jobs:    newJobStore(),
-		metrics: newMetrics(),
+		reg:     reg,
+		metrics: newMetrics(reg),
 		log:     cfg.Logger,
 		benches: map[string]malardalen.Benchmark{},
 	}
+	s.registerPulls()
 	for _, b := range malardalen.All() {
 		s.benches[b.Name] = b
 		s.benchNames = append(s.benchNames, b.Name)
@@ -177,11 +184,29 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// logging emits one structured line per request and feeds the per-route
-// request counter.
+// ctxKey keys values this package stores in request contexts.
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+// requestID returns the request ID the logging middleware assigned, or ""
+// outside a request context.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// logging assigns each request an ID, emits one structured line per
+// request, and feeds the per-route request counter. The ID rides the
+// request context (handlers attach it to trace spans) and is echoed in the
+// X-Request-Id response header so a client can quote it when reporting a
+// failure.
 func (s *Server) logging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := fmt.Sprintf("req-%06d", s.reqID.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
 		rec := &statusRecorder{ResponseWriter: w}
 		next.ServeHTTP(rec, r)
 		if rec.status == 0 {
@@ -195,6 +220,7 @@ func (s *Server) logging(next http.Handler) http.Handler {
 		}
 		s.metrics.countRequest(r.Method + " " + path)
 		s.log.Info("request",
+			"request_id", id,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", rec.status,

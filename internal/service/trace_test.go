@@ -1,0 +1,157 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ucp/internal/obs"
+)
+
+// spanNames flattens a span tree into the set of span names it contains.
+func spanNames(t *obs.SpanTree, into map[string]bool) {
+	if t == nil {
+		return
+	}
+	into[t.Name] = true
+	for _, c := range t.Children {
+		spanNames(c, into)
+	}
+}
+
+func TestAnalyzeTrace(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+
+	// Warm the cache so the traced request below demonstrably bypasses the
+	// cache read: a plain request would be served cached, a traced one must
+	// re-run the pipeline.
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", smallAnalyze)
+	if resp.StatusCode != 200 {
+		t.Fatalf("warm-up analyze: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/analyze?trace=1", smallAnalyze)
+	if resp.StatusCode != 200 {
+		t.Fatalf("traced analyze: status %d: %s", resp.StatusCode, body)
+	}
+	var tr analyzeResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cached {
+		t.Error("traced analyze reported cached=true; tracing must bypass the cache read")
+	}
+	if tr.Trace == nil {
+		t.Fatal("traced analyze returned no span tree")
+	}
+
+	names := map[string]bool{}
+	spanNames(tr.Trace, names)
+	for _, want := range []string{
+		"experiment.cell", "vivu.expand", "absint.solve",
+		"core.optimize", "wcet.analyze", "wcet.solve",
+	} {
+		if !names[want] {
+			t.Errorf("span tree missing %q (have %v)", want, names)
+		}
+	}
+	if id, _ := tr.Trace.Attrs["request_id"].(string); !strings.HasPrefix(id, "req-") {
+		t.Errorf("root span request_id = %v, want req-NNNNNN", tr.Trace.Attrs["request_id"])
+	}
+
+	// The explain report must cover every candidate verdict: the inserted
+	// entries must match the result's insertion count, and every entry
+	// carries a deciding reason.
+	var inserted int
+	for _, d := range tr.Explain {
+		if d.Reason == "" {
+			t.Errorf("decision for bb%d[%d] has no reason", d.Block, d.Index)
+		}
+		if d.Inserted {
+			inserted++
+			if d.Reason != "inserted" {
+				t.Errorf("inserted decision has reason %q", d.Reason)
+			}
+		}
+	}
+	if inserted != tr.Inserted {
+		t.Errorf("explain lists %d inserted decisions, result says %d", inserted, tr.Inserted)
+	}
+	if tr.Inserted > 0 && len(tr.Explain) == 0 {
+		t.Error("prefetches were inserted but the explain report is empty")
+	}
+
+	// A plain request must not pay for tracing: no trace or explain keys.
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", smallAnalyze)
+	if resp.StatusCode != 200 {
+		t.Fatalf("plain analyze: status %d: %s", resp.StatusCode, body)
+	}
+	var plain map[string]json.RawMessage
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain["trace"]; ok {
+		t.Error("untraced response contains a trace")
+	}
+	if _, ok := plain["explain"]; ok {
+		t.Error("untraced response contains an explain report")
+	}
+}
+
+// TestMetricsFamiliesGolden pins the metric families the service exposes:
+// every family that predates the obs registry must still be present under
+// its original name, label key, and HELP string, and the whole exposition
+// must pass the lint the renderer promises.
+func TestMetricsFamiliesGolden(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+
+	// One analysis and one sweep-free request mix so labeled families have
+	// at least one child each.
+	if resp, body := postJSON(t, ts.URL+"/v1/analyze", smallAnalyze); resp.StatusCode != 200 {
+		t.Fatalf("analyze: status %d: %s", resp.StatusCode, body)
+	}
+
+	_, mbody := getBody(t, ts.URL+"/metrics")
+	m := string(mbody)
+
+	if err := obs.Lint(strings.NewReader(m)); err != nil {
+		t.Errorf("exposition fails lint: %v", err)
+	}
+
+	for _, want := range []string{
+		"# HELP ucp_requests_total HTTP requests served, by route.\n# TYPE ucp_requests_total counter",
+		"# HELP ucp_cache_hits_total Result-cache hits.\n# TYPE ucp_cache_hits_total counter",
+		"# HELP ucp_cache_misses_total Result-cache misses.\n# TYPE ucp_cache_misses_total counter",
+		"# HELP ucp_cache_entries Resident result-cache entries.\n# TYPE ucp_cache_entries gauge",
+		"# HELP ucp_analyses_total Analyses executed (cache misses that ran the optimizer).\n# TYPE ucp_analyses_total counter",
+		"# HELP ucp_analysis_failures_total Executed analyses that returned an error.\n# TYPE ucp_analysis_failures_total counter",
+		"# HELP ucp_analysis_policy_total Executed analyses by cache replacement policy.\n# TYPE ucp_analysis_policy_total counter",
+		"# HELP ucp_analysis_incremental_hits_total WCET re-analyses seeded incrementally from a previous result.\n# TYPE ucp_analysis_incremental_hits_total counter",
+		"# HELP ucp_analysis_full_reanalyses_total WCET analyses computed from scratch.\n# TYPE ucp_analysis_full_reanalyses_total counter",
+		"# HELP ucp_jobs Sweep jobs by state.\n# TYPE ucp_jobs gauge",
+		"# HELP ucp_panics_recovered_total Panics recovered from analysis tasks.\n# TYPE ucp_panics_recovered_total counter",
+		"# HELP ucp_jobs_rejected_total Sweep submissions refused by admission control (429).\n# TYPE ucp_jobs_rejected_total counter",
+		"# HELP ucp_cells_canceled_total Sweep cells stopped by cancellation or deadline.\n# TYPE ucp_cells_canceled_total counter",
+		"# HELP ucp_analysis_latency_seconds Latency of executed analyses (recent window).\n# TYPE ucp_analysis_latency_seconds summary",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("exposition missing family header:\n%s", want)
+		}
+	}
+
+	// Label keys and shapes that clients scrape by.
+	for _, want := range []string{
+		`ucp_requests_total{route="POST /v1/analyze"} `,
+		`ucp_analysis_policy_total{policy="lru"} 1`,
+		`ucp_jobs{state="queued"} 0`,
+		`ucp_jobs{state="running"} 0`,
+		`ucp_jobs{state="done"} 0`,
+		`ucp_jobs{state="failed"} 0`,
+		`ucp_analysis_latency_seconds{quantile="0.5"} `,
+		`ucp_analysis_latency_seconds{quantile="0.99"} `,
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("exposition missing sample %q", want)
+		}
+	}
+}

@@ -10,11 +10,13 @@
 package vivu
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"ucp/internal/cfg"
 	"ucp/internal/isa"
+	"ucp/internal/obs"
 )
 
 // Context is a VIVU context string: one letter per enclosing loop, outermost
@@ -82,6 +84,20 @@ func (x *Prog) NRefs() int {
 		n += len(x.Prog.Blocks[b.Orig].Instrs)
 	}
 	return n
+}
+
+// ExpandCtx is Expand with a "vivu.expand" span recording the expansion's
+// size: original blocks in, expanded blocks and references out.
+func ExpandCtx(ctx context.Context, p *isa.Program) (*Prog, error) {
+	_, sp := obs.Start(ctx, "vivu.expand")
+	x, err := Expand(p)
+	if sp != nil && err == nil {
+		sp.Attr("blocks", len(p.Blocks))
+		sp.Attr("expanded_blocks", len(x.Blocks))
+		sp.Attr("refs", x.NRefs())
+	}
+	sp.End()
+	return x, err
 }
 
 // Expand applies the VIVU transformation to p. Loops with bound 1 get no

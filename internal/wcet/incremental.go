@@ -2,20 +2,23 @@ package wcet
 
 import (
 	"context"
-	"sync/atomic"
 
 	"ucp/internal/absint"
 	"ucp/internal/cache"
 	"ucp/internal/isa"
+	"ucp/internal/obs"
 	"ucp/internal/vivu"
 )
 
 // Counters for observability: how many analyses ran the full from-scratch
-// pipeline versus the incremental warm path. The service /metrics endpoint
-// exposes them.
+// pipeline versus the incremental warm path. They live in the process-wide
+// obs registry, so the service /metrics endpoint (and anything else that
+// renders obs.Global) picks them up without wiring.
 var (
-	statFull        atomic.Int64
-	statIncremental atomic.Int64
+	statFull = obs.NewCounter("ucp_analysis_full_reanalyses_total",
+		"WCET analyses computed from scratch.")
+	statIncremental = obs.NewCounter("ucp_analysis_incremental_hits_total",
+		"WCET re-analyses seeded incrementally from a previous result.")
 )
 
 // AnalysisStats is a snapshot of the process-wide analysis counters.
@@ -28,7 +31,7 @@ type AnalysisStats struct {
 
 // Stats returns the current analysis counters.
 func Stats() AnalysisStats {
-	return AnalysisStats{Full: statFull.Load(), Incremental: statIncremental.Load()}
+	return AnalysisStats{Full: statFull.Value(), Incremental: statIncremental.Value()}
 }
 
 // AnalyzeXFrom re-analyzes a mutated program incrementally, seeded from a
@@ -49,19 +52,22 @@ func AnalyzeXFrom(ctx context.Context, x *vivu.Prog, cfg cache.Config, par Param
 	if err := par.Valid(); err != nil {
 		return nil, err
 	}
-	statIncremental.Add(1)
+	statIncremental.Inc()
+	ctx, span := obs.Start(ctx, "wcet.analyze")
+	span.Attr("mode", "incremental")
+	defer span.End()
 	lay := isa.NewLayout(x.Prog)
 	ai, err := absint.AnalyzeFrom(ctx, x, lay, cfg, int(par.Lambda), prev.AI)
 	if err != nil {
 		return nil, err
 	}
-	return assemble(x, cfg, par, lay, ai, prev)
+	return assemble(ctx, x, cfg, par, lay, ai, prev)
 }
 
 // assemble turns an abstract-interpretation result into a WCET Result,
 // reusing prev's per-block rows for blocks the analysis did not revisit and
 // prev's solve outputs when the cost vectors are unchanged.
-func assemble(x *vivu.Prog, cfg cache.Config, par Params, lay *isa.Layout, ai *absint.Result, prev *Result) (*Result, error) {
+func assemble(ctx context.Context, x *vivu.Prog, cfg cache.Config, par Params, lay *isa.Layout, ai *absint.Result, prev *Result) (*Result, error) {
 	n := len(x.Blocks)
 	res := &Result{
 		Prog: x.Prog, X: x, Lay: lay, AI: ai, Cfg: cfg, Par: par,
@@ -114,13 +120,22 @@ func assemble(x *vivu.Prog, cfg cache.Config, par Params, lay *isa.Layout, ai *a
 		res.TauW = prev.TauW
 		res.Misses = prev.Misses
 		res.Fetches = prev.Fetches
+		if _, sp := obs.Start(ctx, "wcet.solve"); sp != nil {
+			sp.Attr("skipped", true)
+			sp.Attr("tau_w", res.TauW)
+			sp.End()
+		}
 		return res, nil
 	}
 
+	_, sp := obs.Start(ctx, "wcet.solve")
 	nw, tau, err := solveStructuralExtra(x, res.Cost, extra)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.Attr("tau_w", tau)
+	sp.End()
 	res.Nw = nw
 	res.TauW = tau
 	for _, xb := range x.Blocks {

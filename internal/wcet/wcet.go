@@ -13,6 +13,7 @@ import (
 	"ucp/internal/absint"
 	"ucp/internal/cache"
 	"ucp/internal/isa"
+	"ucp/internal/obs"
 	"ucp/internal/vivu"
 )
 
@@ -75,7 +76,7 @@ type Result struct {
 // the fixpoint unwinds and the call returns a typed interrupt error
 // (interrupt.ErrCanceled / interrupt.ErrDeadline).
 func Analyze(ctx context.Context, p *isa.Program, cfg cache.Config, par Params) (*Result, error) {
-	x, err := vivu.Expand(p)
+	x, err := vivu.ExpandCtx(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -92,13 +93,16 @@ func AnalyzeX(ctx context.Context, x *vivu.Prog, cfg cache.Config, par Params) (
 	if err := cfg.Valid(); err != nil {
 		return nil, err
 	}
-	statFull.Add(1)
+	statFull.Inc()
+	ctx, span := obs.Start(ctx, "wcet.analyze")
+	span.Attr("mode", "full")
+	defer span.End()
 	lay := isa.NewLayout(x.Prog)
 	ai, err := absint.Analyze(ctx, x, lay, cfg, int(par.Lambda))
 	if err != nil {
 		return nil, err
 	}
-	return assemble(x, cfg, par, lay, ai, nil)
+	return assemble(ctx, x, cfg, par, lay, ai, nil)
 }
 
 // SolveCounts runs the structural WCET-scenario solver for externally

@@ -1,0 +1,25 @@
+// Command promlint validates a Prometheus text exposition read from stdin
+// against the invariants the obs renderer promises: HELP and TYPE precede
+// every family's samples, no family appears twice, sample names match their
+// family, label values are quoted and escaped, and values parse as numbers.
+// CI pipes a live /metrics scrape through it.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | go run ./scripts/promlint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ucp/internal/obs"
+)
+
+func main() {
+	if err := obs.Lint(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: ok")
+}
