@@ -8,6 +8,8 @@
 //	ucp-bench -table 1
 //	ucp-bench -figure 3 -programs fdct,crc -configs k1,k5,k14 [-policy plru]
 //	ucp-bench -all -out results.txt          # the full 37×36×2 sweep
+//	ucp-bench -figure 3 -worker-urls http://w1:8081,http://w2:8081
+//	                                         # fan the cells across replicas
 package main
 
 import (
@@ -18,10 +20,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ucp/internal/cliutil"
+	"ucp/internal/dist"
 	"ucp/internal/experiment"
 	"ucp/internal/interrupt"
 	"ucp/internal/obs"
@@ -39,6 +43,7 @@ func main() {
 		runs     = flag.Int("runs", 3, "average-case executions per measurement")
 		budget   = flag.Int("budget", 0, "optimizer validation budget per cell (0 = default)")
 		workers  = flag.Int("workers", 0, "cells analyzed concurrently (0 = GOMAXPROCS, 1 = serial)")
+		workerAt = flag.String("worker-urls", "", "comma-separated worker base URLs (ucp-serve -worker); empty runs the sweep in-process")
 		progress = flag.Bool("progress", false, "print one line per completed cell to stderr")
 		verbose  = flag.Bool("v", false, "print per-cell completion lines (benchmark, config, policy, duration) to stderr via the span recorder")
 		out      = flag.String("out", "", "also write the report to this file")
@@ -83,6 +88,20 @@ func main() {
 	}
 	if *progress {
 		opts.Progress = os.Stderr
+	}
+	// -worker-urls swaps the cell executor for the distributed coordinator;
+	// nothing downstream changes — results land by index, so figures and
+	// CSV are byte-identical to an in-process sweep.
+	if *workerAt != "" {
+		var urls []string
+		for _, u := range strings.Split(*workerAt, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		coord, err := dist.New(dist.Options{Workers: urls})
+		exitOn(err)
+		opts.Exec = coord.Exec
 	}
 
 	// SIGINT/SIGTERM cancel the sweep cooperatively: in-flight cells unwind

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	ucp-serve -addr :8080
+//	ucp-serve -addr :8080 -store-dir /var/lib/ucp/results   # restart-proof cache
+//	ucp-serve -addr :8081 -worker                           # worker replica
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/analyze \
 //	     -d '{"program":"crc","config":"k14","tech":"45nm"}'
@@ -29,18 +31,22 @@ import (
 	"time"
 
 	"ucp/internal/service"
+	"ucp/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent analysis cells (0 = GOMAXPROCS)")
-		entries = flag.Int("cache-entries", 512, "result-cache bound (entries)")
-		maxBody = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
-		timeout = flag.Duration("job-timeout", 15*time.Minute, "per-sweep-job deadline")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
-		pprofAt = flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
-		logJSON = flag.Bool("log-json", false, "emit request logs as JSON lines instead of logfmt-style text")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent analysis cells (0 = GOMAXPROCS)")
+		entries  = flag.Int("cache-entries", 512, "result-cache bound (entries)")
+		maxBody  = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+		timeout  = flag.Duration("job-timeout", 15*time.Minute, "per-sweep-job deadline")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+		storeDir = flag.String("store-dir", "", "persistent result-store directory; empty disables the disk tier")
+		storeMax = flag.Int64("store-max-bytes", store.DefaultMaxBytes, "persistent result-store size bound in bytes")
+		worker   = flag.Bool("worker", false, "expose POST /v1/worker/cell for a distributed coordinator")
+		pprofAt  = flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
+		logJSON  = flag.Bool("log-json", false, "emit request logs as JSON lines instead of logfmt-style text")
 	)
 	flag.Parse()
 
@@ -66,11 +72,26 @@ func main() {
 			}
 		}(*pprofAt)
 	}
+	// The persistent tier outlives the service: it opens before and closes
+	// after, so a drain's final cache writes are flushed durably.
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, *storeMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		logger.Info("result store open", "dir", *storeDir, "max_bytes", *storeMax,
+			"entries", st.Stats().Entries, "bytes", st.Stats().Bytes)
+	}
 	svc := service.New(service.Config{
 		Workers:      *workers,
 		CacheEntries: *entries,
 		MaxBodyBytes: *maxBody,
 		JobTimeout:   *timeout,
+		Store:        st,
+		EnableWorker: *worker,
 		Logger:       logger,
 	})
 
@@ -107,7 +128,13 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("serve", "err", err)
 	}
-	// Wait for the job goroutines to exit.
+	// Wait for the job goroutines to exit, then flush the store: every
+	// result computed up to the drain is durable for the next process.
 	svc.Close()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			logger.Error("store close", "err", err)
+		}
+	}
 	logger.Info("bye")
 }

@@ -1,0 +1,291 @@
+// Package dist fans sweep cells out across worker replicas of the
+// analysis service. A Coordinator satisfies experiment.CellExec — the
+// remote-execution seam — by POSTing each cell to a worker's
+// /v1/worker/cell endpoint, so experiment.Sweep, the batch API, and
+// ucp-bench become distributed by swapping one function value and nothing
+// about their determinism changes: results land by index, output stays
+// byte-identical to a local run.
+//
+// The failure model is crash-stop workers behind an unreliable network:
+// transport errors and 5xx responses are retried on another replica with
+// exponential backoff, the failing worker sits out a cooldown, and only
+// when every attempt is exhausted does the cell — and with it the sweep —
+// fail. 4xx responses are permanent (the request itself is wrong; another
+// replica would answer the same), and context cancellation stops retrying
+// immediately.
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ucp/internal/cache"
+	"ucp/internal/energy"
+	"ucp/internal/experiment"
+	"ucp/internal/interrupt"
+	"ucp/internal/malardalen"
+	"ucp/internal/obs"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers lists worker base URLs ("http://host:port"); at least one is
+	// required. Trailing slashes are trimmed.
+	Workers []string
+	// Client issues the cell requests (nil = a dedicated client with no
+	// global timeout — per-cell bounds come from the request context).
+	Client *http.Client
+	// MaxAttempts bounds tries per cell across all workers (0 = 4).
+	MaxAttempts int
+	// Backoff is the first retry's delay; it doubles per attempt (0 = 50ms).
+	Backoff time.Duration
+	// Cooldown keeps a worker out of selection after a transport or 5xx
+	// failure (0 = 1s). Cooling workers are still used when every worker
+	// is cooling — a degraded replica beats failing the sweep.
+	Cooldown time.Duration
+}
+
+// Cell-level counters are process-global (one coordinator per process in
+// practice; tests read deltas), matching the pool's panic counter.
+var (
+	distCells = obs.NewCounter("ucp_dist_cells_total",
+		"Cells dispatched to workers (completed, all attempts counted once).")
+	distRetries = obs.NewCounter("ucp_dist_retries_total",
+		"Cell attempts retried after a worker failure.")
+	distWorkerFailures = obs.NewCounterVec("ucp_dist_worker_failures_total",
+		"Transport errors and 5xx responses, by worker.", "worker")
+)
+
+// worker is one replica plus its selection state.
+type worker struct {
+	url string
+
+	mu       sync.Mutex
+	inflight int
+	coolTill time.Time
+}
+
+// Coordinator distributes cells over the configured workers. Its Exec
+// method is an experiment.CellExec.
+type Coordinator struct {
+	client      *http.Client
+	workers     []*worker
+	maxAttempts int
+	backoff     time.Duration
+	cooldown    time.Duration
+	rr          atomic.Uint64 // rotates tie-breaking across workers
+}
+
+// New validates the options and builds a Coordinator.
+func New(o Options) (*Coordinator, error) {
+	if len(o.Workers) == 0 {
+		return nil, fmt.Errorf("dist: no workers configured")
+	}
+	c := &Coordinator{
+		client:      o.Client,
+		maxAttempts: o.MaxAttempts,
+		backoff:     o.Backoff,
+		cooldown:    o.Cooldown,
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	if c.maxAttempts <= 0 {
+		c.maxAttempts = 4
+	}
+	if c.backoff <= 0 {
+		c.backoff = 50 * time.Millisecond
+	}
+	if c.cooldown <= 0 {
+		c.cooldown = time.Second
+	}
+	for _, u := range o.Workers {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("dist: empty worker URL")
+		}
+		c.workers = append(c.workers, &worker{url: u})
+	}
+	return c, nil
+}
+
+// cellRequest mirrors the worker endpoint's wire format
+// (service.workerCellRequest).
+type cellRequest struct {
+	Program          string `json:"program"`
+	Config           string `json:"config"`
+	Tech             string `json:"tech"`
+	Policy           string `json:"policy,omitempty"`
+	Runs             int    `json:"runs,omitempty"`
+	ValidationBudget int    `json:"validation_budget,omitempty"`
+	SkipReduced      bool   `json:"skip_reduced,omitempty"`
+	Explain          bool   `json:"explain,omitempty"`
+}
+
+// permanentError is a worker answer that retrying cannot change.
+type permanentError struct {
+	status int
+	body   string
+}
+
+func (e *permanentError) Error() string {
+	return fmt.Sprintf("worker rejected cell (%d): %s", e.status, e.body)
+}
+
+// Exec ships one cell to a worker and returns its measurement. It is the
+// experiment.CellExec implementation: least-loaded healthy worker first,
+// exponential backoff across replicas on transient failure.
+func (c *Coordinator) Exec(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energy.Tech, o experiment.Options) (experiment.Cell, error) {
+	ctx, span := obs.Start(ctx, "dist.cell")
+	span.Attr("program", b.Name)
+	span.Attr("config", cache.ConfigID(cfgIdx))
+	defer span.End()
+
+	body, err := json.Marshal(cellRequest{
+		Program:          b.Name,
+		Config:           cache.ConfigID(cfgIdx),
+		Tech:             tech.String(),
+		Policy:           o.Policy.String(),
+		Runs:             o.Runs,
+		ValidationBudget: o.ValidationBudget,
+		SkipReduced:      o.SkipReduced,
+		Explain:          o.Explain,
+	})
+	if err != nil {
+		return experiment.Cell{}, err
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			distRetries.Inc()
+			span.Attr("retries", attempt)
+			// Exponential backoff, interruptible: a canceled sweep must not
+			// sit out its backoff before noticing.
+			t := time.NewTimer(c.backoff << (attempt - 1))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return experiment.Cell{}, interrupt.Cause(ctx)
+			case <-t.C:
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return experiment.Cell{}, interrupt.Cause(ctx)
+		}
+
+		w := c.pick()
+		cell, err := c.post(ctx, w, body)
+		if err == nil {
+			distCells.Inc()
+			return cell, nil
+		}
+		if interrupt.Is(err) || ctx.Err() != nil {
+			return experiment.Cell{}, interrupt.Wrap(err)
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return experiment.Cell{}, err
+		}
+		// Transient: cool the worker so the next pick prefers its siblings,
+		// and go around.
+		distWorkerFailures.With(w.url).Inc()
+		w.cool(c.cooldown)
+		lastErr = err
+	}
+	return experiment.Cell{}, fmt.Errorf("dist: cell %s/%s/%s failed after %d attempts: %w",
+		b.Name, cache.ConfigID(cfgIdx), tech, c.maxAttempts, lastErr)
+}
+
+// pick selects the healthy worker with the fewest cells in flight
+// (join-shortest-queue); when every worker is cooling, the least-loaded
+// one is used anyway. Ties rotate round-robin so a serial caller still
+// spreads cells across replicas instead of pinning the first URL. The
+// returned worker's inflight count is already incremented; post releases
+// it.
+func (c *Coordinator) pick() *worker {
+	now := time.Now()
+	off := int(c.rr.Add(1)) % len(c.workers)
+	var best *worker
+	bestLoad := 0
+	bestCooling := false
+	for i := range c.workers {
+		w := c.workers[(off+i)%len(c.workers)]
+		w.mu.Lock()
+		load, cooling := w.inflight, now.Before(w.coolTill)
+		w.mu.Unlock()
+		if best == nil ||
+			(bestCooling && !cooling) ||
+			(cooling == bestCooling && load < bestLoad) {
+			best, bestLoad, bestCooling = w, load, cooling
+		}
+	}
+	best.mu.Lock()
+	best.inflight++
+	best.mu.Unlock()
+	return best
+}
+
+// cool marks the worker unhealthy for the cooldown window.
+func (w *worker) cool(d time.Duration) {
+	w.mu.Lock()
+	w.coolTill = time.Now().Add(d)
+	w.mu.Unlock()
+}
+
+func (w *worker) release() {
+	w.mu.Lock()
+	w.inflight--
+	w.mu.Unlock()
+}
+
+// maxErrorBody bounds how much of a worker error response is kept for the
+// error message.
+const maxErrorBody = 4 << 10
+
+// post performs one attempt against one worker.
+func (c *Coordinator) post(ctx context.Context, w *worker, body []byte) (experiment.Cell, error) {
+	defer w.release()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.url+"/v1/worker/cell", bytes.NewReader(body))
+	if err != nil {
+		return experiment.Cell{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return experiment.Cell{}, interrupt.Cause(ctx)
+		}
+		return experiment.Cell{}, fmt.Errorf("dist: %s: %w", w.url, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var cell experiment.Cell
+		if err := json.NewDecoder(resp.Body).Decode(&cell); err != nil {
+			// A torn response (worker died mid-write) is transient: the
+			// cell is deterministic, another replica recomputes it.
+			return experiment.Cell{}, fmt.Errorf("dist: %s: decode cell: %w", w.url, err)
+		}
+		return cell, nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+		return experiment.Cell{}, &permanentError{status: resp.StatusCode, body: strings.TrimSpace(string(msg))}
+	default:
+		// 5xx: the worker is draining, overloaded, or broke on this cell;
+		// 503/504 in particular mean "try a sibling".
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+		return experiment.Cell{}, fmt.Errorf("dist: %s: status %d: %s",
+			w.url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+}

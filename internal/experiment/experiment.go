@@ -61,6 +61,14 @@ type Cell struct {
 	ACETQuarter, EnergyQuarter float64
 }
 
+// CellExec executes one cell of the sweep matrix; its signature matches
+// RunCell, the local implementation. It is the remote-execution seam: a
+// distributed coordinator (internal/dist) satisfies it by shipping the
+// cell to a worker replica over HTTP, and the analysis service satisfies
+// it per-configuration, so every consumer of the sweep engine — figures,
+// CSV, the batch API — is transparently local or distributed.
+type CellExec func(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energy.Tech, o Options) (Cell, error)
+
 // Options configures a sweep.
 type Options struct {
 	// Programs restricts the benchmark set (nil = all 37).
@@ -94,6 +102,10 @@ type Options struct {
 	// Explain forwards core.Options.Explain: every cell's optimization
 	// records its per-prefetch decision log into Cell.Decisions.
 	Explain bool
+	// Exec replaces local cell execution (nil = RunCell in this process).
+	// The sweep's determinism does not depend on where cells run: results
+	// land by index, so a distributed sweep renders byte-identical output.
+	Exec CellExec `json:"-"`
 }
 
 // Suite is a completed sweep.
@@ -167,10 +179,14 @@ func Sweep(ctx context.Context, o Options) (*Suite, error) {
 	defer span.End()
 	cells := make([]Cell, len(us))
 	var progressMu sync.Mutex
+	exec := o.Exec
+	if exec == nil {
+		exec = RunCell
+	}
 	p := pool.New(o.Workers)
 	err := p.ForEach(ctx, len(us), func(ctx context.Context, i int) error {
 		u := us[i]
-		cell, err := RunCell(ctx, u.b, u.ci, u.tech, o)
+		cell, err := exec(ctx, u.b, u.ci, u.tech, o)
 		if err != nil {
 			return fmt.Errorf("experiment: %s/%s/%v: %w", u.b.Name, cache.ConfigID(u.ci), u.tech, err)
 		}

@@ -24,14 +24,19 @@
 //	delay:<dur>  sleep for <dur> (aborted early by context cancellation)
 //	hang         block until the hook's context is canceled — the
 //	             infinite-loop equivalent for timeout and drain tests
+//	exit[:code]  terminate the process immediately (default code 1) — the
+//	             crashed-replica equivalent for distributed failover tests;
+//	             pair with @count to let a few cells through first
 //
 // Example:
 //
 //	UCP_FAULTS='pool.task:3=panic,experiment.cell:*=delay:50ms@2'
 //
 // Sites currently wired: pool.task (key = task index), service.analyze
-// (key = program name), experiment.cell (key = program/config/tech), and
-// absint.round (key = "", one hook per cyclic-component restart round).
+// (key = program name), experiment.cell (key = program/config/tech),
+// worker.cell (key = program/config/tech, fired by the worker replica's
+// cell endpoint), and absint.round (key = "", one hook per
+// cyclic-component restart round).
 package faults
 
 import (
@@ -62,6 +67,9 @@ const (
 	KindDelay
 	// KindHang blocks until the hook's context is canceled.
 	KindHang
+	// KindExit terminates the process with the rule's exit code — a
+	// worker replica crashing mid-cell, as far as a coordinator can tell.
+	KindExit
 )
 
 func (k Kind) String() string {
@@ -76,6 +84,8 @@ func (k Kind) String() string {
 		return "delay"
 	case KindHang:
 		return "hang"
+	case KindExit:
+		return "exit"
 	default:
 		return fmt.Sprintf("Kind(%d)", k)
 	}
@@ -86,6 +96,7 @@ type rule struct {
 	key       string // exact key or "*"
 	kind      Kind
 	delay     time.Duration
+	exitCode  int
 	remaining int64 // fires left; < 0 = unlimited
 }
 
@@ -181,6 +192,16 @@ func parse(spec string) (map[string][]*rule, error) {
 				return nil, fmt.Errorf("faults: %q: bad delay %q", ent, param)
 			}
 			r.kind, r.delay = KindDelay, d
+		case "exit":
+			code := 1
+			if param != "" {
+				n, err := strconv.Atoi(param)
+				if err != nil || n < 0 || n > 255 {
+					return nil, fmt.Errorf("faults: %q: bad exit code %q", ent, param)
+				}
+				code = n
+			}
+			r.kind, r.exitCode = KindExit, code
 		default:
 			return nil, fmt.Errorf("faults: %q: unknown action %q", ent, name)
 		}
@@ -221,6 +242,11 @@ func Fire(ctx context.Context, site, key string) error {
 	case KindHang:
 		<-ctx.Done()
 		return interrupt.Cause(ctx)
+	case KindExit:
+		// A crash, not a shutdown: no drain, no flush, no goodbye. The
+		// coordinator's failover path is the thing under test.
+		fmt.Fprintf(os.Stderr, "faults: injected exit(%d) at %s:%s\n", r.exitCode, site, key)
+		os.Exit(r.exitCode)
 	}
 	return nil
 }

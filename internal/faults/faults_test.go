@@ -36,12 +36,37 @@ func TestParseErrors(t *testing.T) {
 		"site:key=panic@zero", // bad count
 		"site:key=panic@0",    // non-positive count
 		"site:key=delay:-5ms", // negative delay
+		"site:key=exit:x",     // bad exit code
+		"site:key=exit:-1",    // negative exit code
+		"site:key=exit:300",   // exit code out of range
 		"site:key",            // no action at all
 	} {
 		if err := Arm(spec); err == nil {
 			Disarm()
 			t.Errorf("Arm(%q) accepted a bad spec", spec)
 		}
+	}
+}
+
+// TestExitParses checks the exit action's grammar without firing it — an
+// injected os.Exit would take the test binary with it; the end-to-end kill
+// is exercised by the two-process coordinator/worker smoke test in CI.
+func TestExitParses(t *testing.T) {
+	arm(t, "worker.cell:*=delay:1ms@2,worker.cell:*=exit:7")
+	mu.Lock()
+	defer mu.Unlock()
+	rs := rules["worker.cell"]
+	if len(rs) != 2 {
+		t.Fatalf("rules = %d, want 2", len(rs))
+	}
+	if rs[0].kind != KindDelay || rs[0].remaining != 2 {
+		t.Errorf("rule 0 = %v@%d, want delay@2", rs[0].kind, rs[0].remaining)
+	}
+	if rs[1].kind != KindExit || rs[1].exitCode != 7 {
+		t.Errorf("rule 1 = %v code %d, want exit code 7", rs[1].kind, rs[1].exitCode)
+	}
+	if KindExit.String() != "exit" {
+		t.Errorf("KindExit.String() = %q", KindExit.String())
 	}
 }
 

@@ -139,6 +139,11 @@ func cacheKey(fp string, cfg cache.Config, tech energy.Tech, runs, budget int) s
 	return hex.EncodeToString(h[:])
 }
 
+// keyFor computes the content address of a resolved use case.
+func (s *Server) keyFor(uc useCase) string {
+	return cacheKey(isa.Fingerprint(uc.bench.Prog), uc.cfg, uc.tech, uc.runs, uc.budget)
+}
+
 // analyze returns the measurement for one resolved use case, serving it
 // from the content-addressed cache when an identical query has already
 // been answered. cached reports where the result came from. The analysis
@@ -154,9 +159,9 @@ func (s *Server) analyze(ctx context.Context, uc useCase) (res Result, cached bo
 // Result carries no decisions, and a trace of a cache hit would explain
 // nothing — but still publishes its Result for later plain requests.
 func (s *Server) analyzeExplain(ctx context.Context, uc useCase, explain bool) (res Result, decisions []core.Decision, cached bool, err error) {
-	key := cacheKey(isa.Fingerprint(uc.bench.Prog), uc.cfg, uc.tech, uc.runs, uc.budget)
+	key := s.keyFor(uc)
 	if !explain {
-		if v, ok := s.cache.get(key); ok {
+		if v, ok := s.cache.get(ctx, key); ok {
 			return v, nil, true, nil
 		}
 	}
@@ -164,8 +169,14 @@ func (s *Server) analyzeExplain(ctx context.Context, uc useCase, explain bool) (
 		return Result{}, nil, false, err
 	}
 
+	// The remote-execution seam: a coordinator-configured server ships the
+	// cell to a worker replica instead of running the pipeline locally.
+	runCell := experiment.RunCell
+	if s.cfg.CellExec != nil {
+		runCell = s.cfg.CellExec
+	}
 	start := time.Now()
-	cell, err := experiment.RunCell(ctx, uc.bench, uc.cfgIdx, uc.tech, experiment.Options{
+	cell, err := runCell(ctx, uc.bench, uc.cfgIdx, uc.tech, experiment.Options{
 		Policy:           uc.cfg.Policy,
 		Runs:             uc.runs,
 		ValidationBudget: uc.budget,
@@ -200,6 +211,10 @@ func (s *Server) analyzeExplain(ctx context.Context, uc useCase, explain bool) (
 		EnergyOptPJ:   cell.EnergyOpt,
 		CacheKey:      key,
 	}
-	s.cache.put(key, res)
+	if perr := s.cache.put(ctx, key, res); perr != nil {
+		// Persistence is an upgrade, not a gate: the result is correct and
+		// resident in memory, so a full disk degrades into restart misses.
+		s.log.Warn("result store put failed", "key", key, "err", perr)
+	}
 	return res, cell.Decisions, false, nil
 }

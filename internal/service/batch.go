@@ -1,0 +1,223 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ucp/internal/cache"
+	"ucp/internal/interrupt"
+	"ucp/internal/obs"
+	"ucp/internal/pool"
+)
+
+// BatchRequest submits many use cases in one request. Cells may be listed
+// explicitly, or expanded from a matrix exactly like /v1/sweep (explicit
+// cells win when both are present). Unlike /v1/sweep — which returns a job
+// ID to poll — the batch response is a stream: one NDJSON line per cell,
+// written in completion order as analyses finish, closed by a summary
+// line. Runs and ValidationBudget are defaults for cells that leave their
+// own zero.
+type BatchRequest struct {
+	Cells            []AnalyzeRequest `json:"cells,omitempty"`
+	Programs         []string         `json:"programs,omitempty"`
+	Configs          []string         `json:"configs,omitempty"`
+	Techs            []string         `json:"techs,omitempty"`
+	Policies         []string         `json:"policies,omitempty"`
+	Runs             int              `json:"runs,omitempty"`
+	ValidationBudget int              `json:"validation_budget,omitempty"`
+}
+
+// batchCellLine is one NDJSON cell outcome (Result or Error, never both).
+// Index is the cell's position in the resolved request order, so clients
+// can reassemble deterministic order from the completion-ordered stream.
+type batchCellLine struct {
+	Index   int     `json:"index"`
+	Program string  `json:"program"`
+	Config  string  `json:"config"`
+	Tech    string  `json:"tech"`
+	Policy  string  `json:"policy"`
+	Cached  bool    `json:"cached,omitempty"`
+	Result  *Result `json:"result,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// batchSummaryLine closes the stream; Done is always true, so clients can
+// key on it to tell the summary from a cell.
+type batchSummaryLine struct {
+	Done      bool   `json:"done"`
+	Total     int    `json:"total"`
+	OK        int    `json:"ok"`
+	Failed    int    `json:"failed"`
+	CacheHits int    `json:"cache_hits"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+	Error     string `json:"error,omitempty"`
+}
+
+// resolveBatch expands a BatchRequest into resolved use cases.
+func (s *Server) resolveBatch(req BatchRequest) ([]useCase, error) {
+	if len(req.Cells) == 0 {
+		return s.resolveSweep(SweepRequest{
+			Programs:         req.Programs,
+			Configs:          req.Configs,
+			Techs:            req.Techs,
+			Policies:         req.Policies,
+			Runs:             req.Runs,
+			ValidationBudget: req.ValidationBudget,
+		})
+	}
+	if len(req.Cells) > maxSweepCells {
+		return nil, errorf(400, "batch has %d cells, limit %d", len(req.Cells), maxSweepCells)
+	}
+	cases := make([]useCase, 0, len(req.Cells))
+	for i, c := range req.Cells {
+		if c.Runs == 0 {
+			c.Runs = req.Runs
+		}
+		if c.ValidationBudget == 0 {
+			c.ValidationBudget = req.ValidationBudget
+		}
+		uc, err := s.resolve(c)
+		if err != nil {
+			return nil, errorf(statusOf(err), "cell %d: %v", i, err)
+		}
+		cases = append(cases, uc)
+	}
+	return cases, nil
+}
+
+// statusOf extracts an httpError's status (500 otherwise).
+func statusOf(err error) int {
+	if he, ok := err.(*httpError); ok {
+		return he.status
+	}
+	return http.StatusInternalServerError
+}
+
+// handleBatch streams cell results back as NDJSON. Failure isolation is
+// per cell, reusing the sweep-job policy: an erroring or panicking cell
+// becomes one error line and its siblings continue; an interruption (the
+// client disconnecting, the job timeout, server drain) stops the whole
+// batch and is reported in the summary line.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.unavailable(w, "server is draining")
+		return
+	}
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	cases, err := s.resolveBatch(req)
+	if err != nil {
+		s.resolveErr(w, err)
+		return
+	}
+
+	// The batch is bounded like a sweep job: the per-job timeout applies,
+	// and a server drain cancels it even though it rides a live request
+	// context (the listener keeps request contexts alive during Shutdown).
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// One encoder, one mutex: lines are written whole, in completion
+	// order, flushed eagerly so clients see progress while cells run.
+	var (
+		wmu       sync.Mutex
+		ok        int
+		failed    int
+		cacheHits int
+	)
+	writeLine := func(line any) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := json.NewEncoder(w).Encode(line); err != nil {
+			s.log.Error("encode batch line", "err", err)
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	start := time.Now()
+	batchErr := s.pool.ForEach(ctx, len(cases), func(ctx context.Context, i int) error {
+		uc := cases[i]
+		ctx, span := obs.Start(ctx, "service.batchcell")
+		defer span.End()
+		var (
+			res    Result
+			cached bool
+		)
+		aerr := pool.Recover(func() error {
+			var e error
+			res, cached, e = s.analyze(ctx, uc)
+			return e
+		})
+		line := batchCellLine{
+			Index:   i,
+			Program: uc.bench.Name,
+			Config:  cache.ConfigID(uc.cfgIdx),
+			Tech:    uc.tech.String(),
+			Policy:  uc.cfg.Policy.String(),
+		}
+		if aerr != nil {
+			if interrupt.Is(aerr) {
+				s.metrics.countCellCanceled()
+				return interrupt.Wrap(aerr)
+			}
+			s.metrics.countBatchCell(true)
+			line.Error = sanitizeCellError(aerr)
+			wmu.Lock()
+			failed++
+			wmu.Unlock()
+			writeLine(line)
+			return nil
+		}
+		s.metrics.countBatchCell(false)
+		line.Cached = cached
+		line.Result = &res
+		wmu.Lock()
+		ok++
+		if cached {
+			cacheHits++
+		}
+		wmu.Unlock()
+		writeLine(line)
+		return nil
+	})
+
+	summary := batchSummaryLine{
+		Done:      true,
+		Total:     len(cases),
+		OK:        ok,
+		Failed:    failed,
+		CacheHits: cacheHits,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}
+	if batchErr != nil {
+		summary.Error = interrupt.Wrap(batchErr).Error()
+	}
+	writeLine(summary)
+}
+
+// sanitizeCellError renders a cell failure for the stream: panics keep
+// their stack out of the response (it goes to the log via pool counters),
+// matching the /v1/analyze 500 body policy.
+func sanitizeCellError(err error) string {
+	var pe *pool.PanicError
+	if errors.As(err, &pe) {
+		return fmt.Sprintf("internal panic during analysis: %v", pe.Value)
+	}
+	return err.Error()
+}

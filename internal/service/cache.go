@@ -2,7 +2,12 @@ package service
 
 import (
 	"container/list"
+	"context"
+	"encoding/json"
 	"sync"
+
+	"ucp/internal/obs"
+	"ucp/internal/store"
 )
 
 // resultCache is the content-addressed result store: a bounded LRU keyed by
@@ -72,4 +77,69 @@ func (c *resultCache) stats() (hits, misses int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.ll.Len()
+}
+
+// tieredCache layers the in-memory LRU over the optional persistent
+// content-addressed store (internal/store): memory answers the hot set at
+// pointer speed, disk survives restarts and is shared across replicas.
+// Both tiers are keyed by the same sha256 content address, and both hold
+// the same deterministic Result — a disk hit is promoted into memory and
+// is indistinguishable from a memory hit to the caller.
+type tieredCache struct {
+	mem  *resultCache
+	disk *store.Store // nil = memory only (the pre-store behavior)
+}
+
+func newTieredCache(memEntries int, disk *store.Store) *tieredCache {
+	return &tieredCache{mem: newResultCache(memEntries), disk: disk}
+}
+
+// get consults memory, then the store. A store hit decodes the persisted
+// envelope payload and promotes it into the memory tier.
+func (c *tieredCache) get(ctx context.Context, key string) (Result, bool) {
+	if v, ok := c.mem.get(key); ok {
+		return v, true
+	}
+	if c.disk == nil {
+		return Result{}, false
+	}
+	_, span := obs.Start(ctx, "store.get")
+	payload, ok := c.disk.Get(key)
+	span.End()
+	if !ok {
+		return Result{}, false
+	}
+	var v Result
+	if err := json.Unmarshal(payload, &v); err != nil {
+		// The envelope verified but the schema moved underneath us (the
+		// cache-key version tag should prevent this); treat as a miss.
+		return Result{}, false
+	}
+	c.mem.put(key, v)
+	return v, true
+}
+
+// put publishes the result to both tiers. Store write failures (disk
+// full, permissions) are surfaced to the caller's log by returning the
+// error, but the memory tier has already accepted the value — persistence
+// is an upgrade, never a gate.
+func (c *tieredCache) put(ctx context.Context, key string, v Result) error {
+	c.mem.put(key, v)
+	if c.disk == nil {
+		return nil
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, span := obs.Start(ctx, "store.put")
+	err = c.disk.Put(key, payload)
+	span.End()
+	return err
+}
+
+// stats exposes the memory tier's counters (the ucp_cache_* families);
+// the store reports its own through store.Stats.
+func (c *tieredCache) stats() (hits, misses int64, entries int) {
+	return c.mem.stats()
 }

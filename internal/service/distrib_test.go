@@ -1,0 +1,451 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ucp/internal/store"
+)
+
+// openStore opens a result store in dir for one test server.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestStoreRestartServesFromDisk is the issue's durability criterion: a
+// server restarted onto the same store directory answers a previously
+// computed analysis from disk — byte-identical Result, counted as a store
+// hit, with no pipeline execution.
+func TestStoreRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+
+	// First server computes and persists.
+	st1 := openStore(t, dir)
+	ts1, svc1 := testServer(t, Config{Store: st1})
+	resp, body := postJSON(t, ts1.URL+"/v1/analyze", smallAnalyze)
+	if resp.StatusCode != 200 {
+		t.Fatalf("first analyze: %d %s", resp.StatusCode, body)
+	}
+	var first analyzeResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	firstJSON, err := json.Marshal(first.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	svc1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second server: fresh process state (empty memory cache, zeroed
+	// counters), same directory.
+	st2 := openStore(t, dir)
+	ts2, _ := testServer(t, Config{Store: st2})
+	resp, body = postJSON(t, ts2.URL+"/v1/analyze", smallAnalyze)
+	if resp.StatusCode != 200 {
+		t.Fatalf("restart analyze: %d %s", resp.StatusCode, body)
+	}
+	var second analyzeResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("restarted server must serve the persisted result as a cache hit")
+	}
+	secondJSON, err := json.Marshal(second.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstJSON, secondJSON) {
+		t.Errorf("restart result differs:\n before %s\n after  %s", firstJSON, secondJSON)
+	}
+
+	_, mb := getBody(t, ts2.URL+"/metrics")
+	m := string(mb)
+	if v := metricValue(t, m, "ucp_result_store_hits_total"); v < 1 {
+		t.Errorf("ucp_result_store_hits_total = %g, want >= 1", v)
+	}
+	if v := metricValue(t, m, "ucp_analyses_total"); v != 0 {
+		t.Errorf("ucp_analyses_total = %g, want 0 (the pipeline must not re-run)", v)
+	}
+	if v := metricValue(t, m, "ucp_result_store_entries"); v < 1 {
+		t.Errorf("ucp_result_store_entries = %g, want >= 1", v)
+	}
+}
+
+// TestStoreSharedAcrossReplicas: two live servers on one directory behave
+// like replicas behind a load balancer — a result computed by one is a
+// store hit for the other.
+func TestStoreSharedAcrossReplicas(t *testing.T) {
+	dir := t.TempDir()
+	tsA, _ := testServer(t, Config{Store: openStore(t, dir)})
+	tsB, _ := testServer(t, Config{Store: openStore(t, dir)})
+
+	if resp, body := postJSON(t, tsA.URL+"/v1/analyze", smallAnalyze); resp.StatusCode != 200 {
+		t.Fatalf("replica A: %d %s", resp.StatusCode, body)
+	}
+	resp, body := postJSON(t, tsB.URL+"/v1/analyze", smallAnalyze)
+	if resp.StatusCode != 200 {
+		t.Fatalf("replica B: %d %s", resp.StatusCode, body)
+	}
+	var got analyzeResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cached {
+		t.Error("replica B must find replica A's result in the shared store")
+	}
+	_, mb := getBody(t, tsB.URL+"/metrics")
+	if v := metricValue(t, string(mb), "ucp_analyses_total"); v != 0 {
+		t.Errorf("replica B ucp_analyses_total = %g, want 0", v)
+	}
+}
+
+// TestSingleflightCoalescesIdenticalAnalyzes is the issue's thundering-herd
+// criterion: N concurrent identical /v1/analyze requests run the pipeline
+// exactly once; the herd rides the leader's flight.
+func TestSingleflightCoalescesIdenticalAnalyzes(t *testing.T) {
+	// The delay holds the leader in the pipeline long enough for the whole
+	// herd to arrive and join its flight.
+	armFaults(t, "service.analyze:*=delay:300ms")
+	ts, _ := testServer(t, Config{Workers: 4})
+
+	const herd = 8
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		coalesced int
+		executed  int
+	)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/analyze", smallAnalyze)
+			if resp.StatusCode != 200 {
+				t.Errorf("herd member: %d %s", resp.StatusCode, body)
+				return
+			}
+			var r analyzeResponse
+			if err := json.Unmarshal(body, &r); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if r.Coalesced {
+				coalesced++
+			}
+			if !r.Coalesced && !r.Cached {
+				executed++
+			}
+		}()
+	}
+	wg.Wait()
+
+	_, mb := getBody(t, ts.URL+"/metrics")
+	m := string(mb)
+	if v := metricValue(t, m, "ucp_analyses_total"); v != 1 {
+		t.Fatalf("ucp_analyses_total = %g, want exactly 1 for %d identical requests", v, herd)
+	}
+	if executed != 1 {
+		t.Errorf("executed (neither coalesced nor cached) = %d, want exactly 1 leader", executed)
+	}
+	if coalesced < 1 {
+		t.Errorf("coalesced = 0, want at least one joined waiter out of %d", herd)
+	}
+	if v := metricValue(t, m, "ucp_flight_merged_total"); v != float64(coalesced) {
+		t.Errorf("ucp_flight_merged_total = %g, want %d (one per coalesced response)", v, coalesced)
+	}
+}
+
+// TestSingleflightWaiterTimeoutKeepsFlight: a waiter whose own (lowered)
+// deadline expires gets 504, but the flight keeps running on the server's
+// context and serves the patient caller — and the published result means
+// no re-execution afterwards.
+func TestSingleflightWaiterTimeoutKeepsFlight(t *testing.T) {
+	armFaults(t, "service.analyze:*=delay:400ms")
+	ts, _ := testServer(t, Config{Workers: 2})
+
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/v1/analyze", smallAnalyze)
+		done <- resp.StatusCode
+	}()
+	// Let the leader start, then join with a deadline shorter than the
+	// injected delay.
+	time.Sleep(100 * time.Millisecond)
+	resp, body := postJSON(t, ts.URL+"/v1/analyze?timeout=50ms", smallAnalyze)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("impatient waiter: %d %s, want 504", resp.StatusCode, body)
+	}
+	if leader := <-done; leader != 200 {
+		t.Fatalf("leader: %d, want 200 — the waiter's timeout must not kill the flight", leader)
+	}
+	_, mb := getBody(t, ts.URL+"/metrics")
+	if v := metricValue(t, string(mb), "ucp_analyses_total"); v != 1 {
+		t.Errorf("ucp_analyses_total = %g, want 1", v)
+	}
+}
+
+// decodeBatchStream splits an NDJSON batch response into cell lines and
+// the closing summary.
+func decodeBatchStream(t *testing.T, body []byte) ([]batchCellLine, batchSummaryLine) {
+	t.Helper()
+	var (
+		cells   []batchCellLine
+		summary batchSummaryLine
+		sawDone bool
+	)
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if sawDone {
+			t.Fatalf("line after summary: %s", line)
+		}
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if probe.Done {
+			if err := json.Unmarshal(line, &summary); err != nil {
+				t.Fatal(err)
+			}
+			sawDone = true
+			continue
+		}
+		var cell batchCellLine
+		if err := json.Unmarshal(line, &cell); err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, cell)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawDone {
+		t.Fatalf("stream ended without a summary line:\n%s", body)
+	}
+	return cells, summary
+}
+
+// TestBatchStreamsCells: the happy path — explicit cells stream back as
+// NDJSON, one line per cell plus a summary, and a repeat batch is answered
+// from the cache.
+func TestBatchStreamsCells(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+	req := `{"cells":[
+		{"program":"fibcall","config":"k1","tech":"45nm"},
+		{"program":"fac","config":"k2","tech":"32nm"}],
+		"runs":1,"validation_budget":20}`
+
+	resp, body := postJSON(t, ts.URL+"/v1/batch", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	cells, summary := decodeBatchStream(t, body)
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	if summary.Total != 2 || summary.OK != 2 || summary.Failed != 0 {
+		t.Fatalf("summary = %+v, want total 2, ok 2", summary)
+	}
+	byIndex := map[int]batchCellLine{}
+	for _, c := range cells {
+		byIndex[c.Index] = c
+	}
+	if c := byIndex[0]; c.Program != "fibcall" || c.Config != "k1" || c.Tech != "45nm" {
+		t.Errorf("cell 0 = %+v, want fibcall/k1/45nm", c)
+	}
+	if c := byIndex[1]; c.Program != "fac" || c.Config != "k2" || c.Tech != "32nm" {
+		t.Errorf("cell 1 = %+v, want fac/k2/32nm", c)
+	}
+	for i, c := range byIndex {
+		if c.Result == nil || c.Error != "" {
+			t.Errorf("cell %d: result %v, error %q", i, c.Result, c.Error)
+		} else if c.Result.WCETOrig <= 0 {
+			t.Errorf("cell %d: degenerate result %+v", i, c.Result)
+		}
+	}
+
+	// The same batch again: both cells from the cache.
+	resp, body = postJSON(t, ts.URL+"/v1/batch", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("second batch: %d", resp.StatusCode)
+	}
+	_, summary = decodeBatchStream(t, body)
+	if summary.CacheHits != 2 {
+		t.Errorf("second batch cache_hits = %d, want 2", summary.CacheHits)
+	}
+
+	_, mb := getBody(t, ts.URL+"/metrics")
+	if v := metricValue(t, string(mb), "ucp_batch_cells_total"); v != 4 {
+		t.Errorf("ucp_batch_cells_total = %g, want 4", v)
+	}
+}
+
+// TestBatchMatrixExpansion: a matrix batch expands exactly like /v1/sweep.
+func TestBatchMatrixExpansion(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/batch",
+		`{"programs":["fibcall","fac"],"configs":["k1"],"techs":["45nm"],"runs":1,"validation_budget":20}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	cells, summary := decodeBatchStream(t, body)
+	if len(cells) != 2 || summary.Total != 2 || summary.OK != 2 {
+		t.Fatalf("cells = %d, summary = %+v, want 2/2", len(cells), summary)
+	}
+}
+
+// TestBatchCellFailureIsolated: an injected failure in one cell becomes
+// one error line; siblings complete and the stream still closes with a
+// summary. This is the per-cell isolation criterion for /v1/batch.
+func TestBatchCellFailureIsolated(t *testing.T) {
+	armFaults(t, "experiment.cell:fibcall/k1/45nm=panic")
+	ts, _ := testServer(t, Config{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/batch", `{"cells":[
+		{"program":"fibcall","config":"k1","tech":"45nm"},
+		{"program":"fac","config":"k1","tech":"45nm"}],
+		"runs":1,"validation_budget":20}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	cells, summary := decodeBatchStream(t, body)
+	if summary.OK != 1 || summary.Failed != 1 {
+		t.Fatalf("summary = %+v, want ok 1 failed 1", summary)
+	}
+	var failed, succeeded *batchCellLine
+	for i := range cells {
+		if cells[i].Error != "" {
+			failed = &cells[i]
+		} else {
+			succeeded = &cells[i]
+		}
+	}
+	if failed == nil || failed.Program != "fibcall" {
+		t.Fatalf("failed line = %+v, want fibcall", failed)
+	}
+	if !strings.Contains(failed.Error, "panic") {
+		t.Errorf("failed error = %q, want a sanitized panic message", failed.Error)
+	}
+	if strings.Contains(failed.Error, "goroutine") {
+		t.Errorf("error leaks a stack trace: %q", failed.Error)
+	}
+	if succeeded == nil || succeeded.Program != "fac" || succeeded.Result == nil {
+		t.Fatalf("sibling = %+v, want a fac result", succeeded)
+	}
+	_, mb := getBody(t, ts.URL+"/metrics")
+	if v := metricValue(t, string(mb), "ucp_batch_cell_failures_total"); v != 1 {
+		t.Errorf("ucp_batch_cell_failures_total = %g, want 1", v)
+	}
+}
+
+// TestBatchValidation: resolution errors surface as plain HTTP errors
+// before any streaming begins.
+func TestBatchValidation(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unknown program", `{"cells":[{"program":"nope","config":"k1","tech":"45nm"}]}`, 404},
+		{"bad config", `{"cells":[{"program":"fibcall","config":"zzz","tech":"45nm"}]}`, 400},
+		{"malformed json", `{"cells":`, 400},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/batch", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, body)
+		}
+	}
+}
+
+// TestWorkerCellEndpoint: the worker endpoint exists only when enabled,
+// and returns a full experiment.Cell for a coordinator to place.
+func TestWorkerCellEndpoint(t *testing.T) {
+	ts, _ := testServer(t, Config{EnableWorker: true})
+	resp, body := postJSON(t, ts.URL+"/v1/worker/cell",
+		`{"program":"fibcall","config":"k1","tech":"45nm","runs":1,"validation_budget":20,"skip_reduced":true}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("worker cell: %d %s", resp.StatusCode, body)
+	}
+	var cell struct {
+		Program  string
+		ConfigID string
+		TauOrig  int64
+		TauOpt   int64
+	}
+	if err := json.Unmarshal(body, &cell); err != nil {
+		t.Fatal(err)
+	}
+	if cell.Program != "fibcall" || cell.ConfigID != "k1" || cell.TauOrig <= 0 {
+		t.Fatalf("cell = %+v, want a measured fibcall/k1", cell)
+	}
+
+	// Errors keep the analyze-path status mapping.
+	resp, _ = postJSON(t, ts.URL+"/v1/worker/cell", `{"program":"nope","config":"k1","tech":"45nm"}`)
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown program: %d, want 404", resp.StatusCode)
+	}
+
+	// A default server does not expose the endpoint at all.
+	tsOff, _ := testServer(t, Config{})
+	resp, _ = postJSON(t, tsOff.URL+"/v1/worker/cell",
+		`{"program":"fibcall","config":"k1","tech":"45nm"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled worker endpoint: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDrainingSendsRetryAfter pins the satellite fix: every admission
+// refusal during drain — analyze, sweep, batch, worker cell — carries the
+// same Retry-After hint the 429 path has always had.
+func TestDrainingSendsRetryAfter(t *testing.T) {
+	ts, svc := testServer(t, Config{EnableWorker: true})
+	svc.Drain()
+
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/analyze", smallAnalyze},
+		{"/v1/sweep", `{"programs":["fibcall"]}`},
+		{"/v1/batch", `{"cells":[{"program":"fibcall","config":"k1","tech":"45nm"}]}`},
+		{"/v1/worker/cell", smallAnalyze},
+	} {
+		resp, body := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s while draining: %d (%s), want 503", tc.path, resp.StatusCode, body)
+			continue
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Errorf("%s: draining 503 without a Retry-After header", tc.path)
+		} else if _, err := fmt.Sscanf(ra, "%d", new(int)); err != nil {
+			t.Errorf("%s: Retry-After = %q, want delay-seconds", tc.path, ra)
+		}
+	}
+}

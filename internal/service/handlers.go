@@ -26,7 +26,11 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/configs", s.handleConfigs)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	if s.cfg.EnableWorker {
+		mux.HandleFunc("POST /v1/worker/cell", s.handleWorkerCell)
+	}
 	return mux
 }
 
@@ -49,6 +53,14 @@ type apiError struct {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	s.writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// unavailable writes an admission-control 503 with the same Retry-After
+// hint the 429 path carries: a load balancer or client backing off for a
+// beat will find either a drained-and-restarted replica or a sibling.
+func (s *Server) unavailable(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", "30")
+	s.writeError(w, http.StatusServiceUnavailable, format, args...)
 }
 
 // decodeBody parses the JSON request body into v, translating the body
@@ -172,7 +184,7 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
-		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		s.unavailable(w, "server is draining")
 		return
 	}
 	var req AnalyzeRequest
@@ -194,20 +206,55 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// ?trace=1 turns on the observability surface for this one request: a
 	// span recorder captures the pipeline's timing tree and the optimizer
 	// produces its per-prefetch-decision explain report. Tracing bypasses
-	// the result-cache read (a cache hit has no pipeline to trace) but the
-	// computed Result is still published for later plain requests.
-	trace := r.URL.Query().Get("trace") == "1"
-	var rec *obs.Recorder
-	if trace {
-		rec = obs.NewRecorder("analyze")
-		rec.Root().Attr("request_id", requestID(r.Context()))
-		rec.Root().Attr("program", uc.bench.Name)
-		defer rec.Release()
-		ctx = rec.Install(ctx)
+	// the result-cache read (a cache hit has no pipeline to trace) — and
+	// the singleflight group, whose shared execution could not carry a
+	// per-request recorder — but still publishes its Result for later
+	// plain requests.
+	if r.URL.Query().Get("trace") == "1" {
+		s.handleAnalyzeTraced(ctx, w, r, uc)
+		return
 	}
-	// The synchronous path still goes through the shared pool so a burst
-	// of /v1/analyze requests cannot oversubscribe the machine; one
-	// request occupies exactly one worker slot.
+
+	// Plain requests go cache → singleflight → pipeline. The cache read
+	// here is the fast path; the flight leader re-checks it, so a result
+	// published between the two reads is still served without execution.
+	key := s.keyFor(uc)
+	if v, ok := s.cache.get(ctx, key); ok {
+		s.writeJSON(w, http.StatusOK, analyzeResponse{Result: v, Cached: true})
+		return
+	}
+	// The flight leader occupies exactly one pool slot however many
+	// identical requests pile up behind it; the herd waits slot-free. The
+	// execution runs on the server's context (see New), so a waiter that
+	// disconnects or times out detaches without cancelling the flight.
+	res, joined, err := s.flight.Do(ctx, key, func(fctx context.Context) (Result, error) {
+		var out Result
+		perr := s.pool.ForEach(fctx, 1, func(ctx context.Context, _ int) error {
+			r, _, _, aerr := s.analyzeExplain(ctx, uc, false)
+			out = r
+			return aerr
+		})
+		return out, perr
+	})
+	if joined {
+		s.metrics.countFlightMerged()
+	}
+	if err != nil {
+		s.analyzeErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, analyzeResponse{Result: res, Coalesced: joined})
+}
+
+// handleAnalyzeTraced is the ?trace=1 path: a private recorder, a direct
+// pool slot (no flight — the span tree belongs to this request alone),
+// and the explain report in the response.
+func (s *Server) handleAnalyzeTraced(ctx context.Context, w http.ResponseWriter, r *http.Request, uc useCase) {
+	rec := obs.NewRecorder("analyze")
+	rec.Root().Attr("request_id", requestID(r.Context()))
+	rec.Root().Attr("program", uc.bench.Name)
+	defer rec.Release()
+	ctx = rec.Install(ctx)
 	var (
 		res       Result
 		decisions []core.Decision
@@ -215,19 +262,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	)
 	perr := s.pool.ForEach(ctx, 1, func(ctx context.Context, _ int) error {
 		var aerr error
-		res, decisions, cached, aerr = s.analyzeExplain(ctx, uc, trace)
+		res, decisions, cached, aerr = s.analyzeExplain(ctx, uc, true)
 		return aerr
 	})
 	if perr != nil {
 		s.analyzeErr(w, perr)
 		return
 	}
-	resp := analyzeResponse{Result: res, Cached: cached}
-	if rec != nil {
-		rec.Release()
-		resp.Trace = rec.Tree()
-		resp.Explain = decisions
-	}
+	rec.Release()
+	resp := analyzeResponse{Result: res, Cached: cached, Trace: rec.Tree(), Explain: decisions}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -262,7 +305,7 @@ func (s *Server) analyzeErr(w http.ResponseWriter, err error) {
 	case errors.As(err, &pe):
 		s.log.Error("analysis panicked", "panic", fmt.Sprint(pe.Value), "stack", string(pe.Stack))
 		s.writeError(w, http.StatusInternalServerError, "internal panic during analysis")
-	case errors.Is(err, interrupt.ErrDeadline):
+	case errors.Is(err, interrupt.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
 		s.writeError(w, http.StatusGatewayTimeout, "analysis deadline exceeded")
 	case errors.Is(err, interrupt.ErrCanceled), errors.Is(err, context.Canceled):
 		s.writeError(w, http.StatusServiceUnavailable, "analysis canceled")
@@ -275,14 +318,18 @@ func (s *Server) analyzeErr(w http.ResponseWriter, err error) {
 // ?trace=1 requests, the span tree and the optimizer's explain report.
 type analyzeResponse struct {
 	Result
-	Cached  bool            `json:"cached"`
-	Trace   *obs.SpanTree   `json:"trace,omitempty"`
-	Explain []core.Decision `json:"explain,omitempty"`
+	Cached bool `json:"cached"`
+	// Coalesced marks a response served by joining another request's
+	// in-flight identical execution (singleflight) rather than by a cache
+	// hit or an execution of its own.
+	Coalesced bool            `json:"coalesced,omitempty"`
+	Trace     *obs.SpanTree   `json:"trace,omitempty"`
+	Explain   []core.Decision `json:"explain,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
-		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		s.unavailable(w, "server is draining")
 		return
 	}
 	var req SweepRequest

@@ -19,6 +19,9 @@ type metrics struct {
 	failures      *obs.Counter
 	jobsRejected  *obs.Counter
 	cellsCanceled *obs.Counter
+	flightMerged  *obs.Counter
+	batchCells    *obs.Counter
+	batchFailures *obs.Counter
 	latency       *obs.Histogram // rendered as a summary; see obs.Histogram
 }
 
@@ -36,6 +39,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Sweep submissions refused by admission control (429)."),
 		cellsCanceled: reg.Counter("ucp_cells_canceled_total",
 			"Sweep cells stopped by cancellation or deadline."),
+		flightMerged: reg.Counter("ucp_flight_merged_total",
+			"Analyze requests coalesced onto an identical in-flight execution."),
+		batchCells: reg.Counter("ucp_batch_cells_total",
+			"Batch cells processed (served, executed, or failed)."),
+		batchFailures: reg.Counter("ucp_batch_cell_failures_total",
+			"Batch cells that failed (error or panic, isolated per cell)."),
 		latency: reg.Histogram("ucp_analysis_latency_seconds",
 			"Latency of executed analyses (recent window).", nil, nil),
 	}
@@ -65,6 +74,30 @@ func (s *Server) registerPulls() {
 		}
 		return out
 	})
+	// The persistent tier's families exist only when a store is configured,
+	// so a store-less exposition is byte-identical to the pre-store one.
+	if st := s.cfg.Store; st != nil {
+		s.reg.CounterFunc("ucp_result_store_hits_total",
+			"Persistent result-store entries served (verified).", func() int64 {
+				return st.Stats().Hits
+			})
+		s.reg.CounterFunc("ucp_result_store_misses_total",
+			"Persistent result-store lookups with no usable entry.", func() int64 {
+				return st.Stats().Misses
+			})
+		s.reg.CounterFunc("ucp_result_store_evictions_total",
+			"Persistent result-store entries removed (capacity or corruption).", func() int64 {
+				return st.Stats().Evictions
+			})
+		s.reg.GaugeFunc("ucp_result_store_entries",
+			"Resident persistent result-store entries.", func() float64 {
+				return float64(st.Stats().Entries)
+			})
+		s.reg.GaugeFunc("ucp_result_store_bytes",
+			"Resident persistent result-store bytes.", func() float64 {
+				return float64(st.Stats().Bytes)
+			})
+	}
 }
 
 // countRequest bumps the per-route request counter.
@@ -79,6 +112,18 @@ func (m *metrics) countJobRejected() { m.jobsRejected.Inc() }
 // countCellCanceled records one sweep cell stopped by a cancellation or
 // deadline rather than by finishing.
 func (m *metrics) countCellCanceled() { m.cellsCanceled.Inc() }
+
+// countFlightMerged records one analyze request that rode another
+// request's in-flight identical execution instead of starting its own.
+func (m *metrics) countFlightMerged() { m.flightMerged.Inc() }
+
+// countBatchCell records one finished batch cell and whether it failed.
+func (m *metrics) countBatchCell(failed bool) {
+	m.batchCells.Inc()
+	if failed {
+		m.batchFailures.Inc()
+	}
+}
 
 // observeAnalysis records one executed (non-cached) analysis.
 func (m *metrics) observeAnalysis(d time.Duration, ok bool) {

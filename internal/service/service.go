@@ -36,9 +36,12 @@ import (
 	"time"
 
 	"ucp/internal/cache"
+	"ucp/internal/experiment"
+	"ucp/internal/flight"
 	"ucp/internal/malardalen"
 	"ucp/internal/obs"
 	"ucp/internal/pool"
+	"ucp/internal/store"
 )
 
 // Config tunes the server. The zero value is production-usable.
@@ -64,6 +67,21 @@ type Config struct {
 	// (queued + running). Beyond it, POST /v1/sweep gets 429 with a
 	// Retry-After header instead of growing the backlog (0 = 32).
 	MaxQueuedJobs int
+	// Store, when non-nil, adds a persistent second tier beneath the
+	// in-memory result cache: results survive restarts and are shared with
+	// every replica pointing at the same directory. The Server does not
+	// close the store; its owner (cmd/ucp-serve, tests) does, after Close.
+	Store *store.Store
+	// EnableWorker exposes POST /v1/worker/cell, the raw cell-execution
+	// endpoint a distributed coordinator (internal/dist) fans sweep cells
+	// out to. Off by default: the endpoint returns full experiment.Cell
+	// payloads and belongs on interior replicas, not public edges.
+	EnableWorker bool
+	// CellExec, when non-nil, replaces local pipeline execution for
+	// /v1/analyze, sweeps, and batches — the coordinator configuration: a
+	// front replica that caches, dedups, and admits, while the heavy
+	// analysis runs on worker replicas (see internal/dist.Coordinator).
+	CellExec experiment.CellExec
 	// Logger receives one structured line per request (nil = slog default).
 	Logger *slog.Logger
 }
@@ -73,7 +91,8 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	pool    *pool.Pool
-	cache   *resultCache
+	cache   *tieredCache
+	flight  *flight.Group[Result]
 	jobs    *jobStore
 	reg     *obs.Registry
 	metrics *metrics
@@ -115,7 +134,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		pool:    pool.New(cfg.Workers),
-		cache:   newResultCache(cfg.CacheEntries),
+		cache:   newTieredCache(cfg.CacheEntries, cfg.Store),
 		jobs:    newJobStore(),
 		reg:     reg,
 		metrics: newMetrics(reg),
@@ -131,6 +150,13 @@ func New(cfg Config) *Server {
 		s.configLabels = append(s.configLabels, cache.ConfigID(i))
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	// Flights run on the server's lifetime, not any one request's: a
+	// waiter that disconnects detaches without cancelling the execution
+	// the remaining waiters are riding. Drain cancels baseCtx and with it
+	// every in-flight execution.
+	s.flight = flight.New[Result](func() (context.Context, context.CancelFunc) {
+		return context.WithTimeout(s.baseCtx, s.cfg.AnalyzeTimeout)
+	})
 	s.mux = s.routes()
 	return s
 }

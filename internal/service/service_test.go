@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -318,6 +319,53 @@ func TestSweepValidation(t *testing.T) {
 	resp, _ = postJSON(t, ts.URL+"/v1/sweep", `{"programs":["fibcall"],"configs":["bogus"]}`)
 	if resp.StatusCode != 400 {
 		t.Errorf("bad config in sweep: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestResultCachePutExistingKey pins put's re-publish contract: storing a
+// key that is already resident must refresh its value and recency in
+// place — one entry, never a duplicate node pushing a sibling out — and
+// must be atomic under concurrent re-publishers of the same key.
+func TestResultCachePutExistingKey(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", Result{Program: "a1"})
+	c.put("b", Result{Program: "b"})
+
+	// Re-put updates value + recency without growing the list.
+	c.put("a", Result{Program: "a2"})
+	if _, _, entries := c.stats(); entries != 2 {
+		t.Fatalf("entries = %d after re-put, want 2", entries)
+	}
+	if v, ok := c.get("a"); !ok || v.Program != "a2" {
+		t.Fatalf("a = %+v (%v), want the refreshed a2", v, ok)
+	}
+	// The re-put made "a" most recent, so inserting "c" evicts "b".
+	c.put("c", Result{Program: "c"})
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived; re-put did not refresh a's recency")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a evicted despite being most recently re-put")
+	}
+
+	// Concurrent same-key re-puts: the entry count must stay exact and the
+	// final value must be one of the published ones (run under -race).
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.put("a", Result{Program: fmt.Sprintf("a-%d", i)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if _, _, entries := c.stats(); entries != 2 {
+		t.Fatalf("entries = %d after concurrent re-puts, want 2", entries)
+	}
+	if v, ok := c.get("a"); !ok || !strings.HasPrefix(v.Program, "a-") {
+		t.Fatalf("a = %+v (%v), want one of the concurrently published values", v, ok)
 	}
 }
 

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ucp/internal/cache"
+	"ucp/internal/experiment"
+	"ucp/internal/faults"
+	"ucp/internal/obs"
+)
+
+// workerCellRequest is the coordinator→worker wire format: one sweep cell,
+// selected like an AnalyzeRequest plus the two execution switches a
+// distributed sweep must control. SkipReduced distinguishes the two
+// callers: a coordinator fronting /v1/analyze ships skip_reduced=true
+// (Results carry no reduced-capacity series), while a distributed
+// ucp-bench sweep ships false so the returned Cell feeds Figure 5 and the
+// CSV byte-identically to a local run.
+type workerCellRequest struct {
+	AnalyzeRequest
+	SkipReduced bool `json:"skip_reduced,omitempty"`
+	Explain     bool `json:"explain,omitempty"`
+}
+
+// handleWorkerCell executes one cell in this process and returns the full
+// experiment.Cell as JSON. It is the distributed execution primitive: no
+// result caching (the coordinator owns the cache tiers), no singleflight
+// (the coordinator dedups), just bounded, cancellable, fault-isolated
+// pipeline execution. The endpoint exists only when Config.EnableWorker is
+// set — it belongs on interior replicas behind a coordinator, not on
+// public edges.
+func (s *Server) handleWorkerCell(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.unavailable(w, "server is draining")
+		return
+	}
+	var req workerCellRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	uc, err := s.resolve(req.AnalyzeRequest)
+	if err != nil {
+		s.resolveErr(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AnalyzeTimeout)
+	defer cancel()
+	ctx, span := obs.Start(ctx, "worker.cell")
+	span.Attr("program", uc.bench.Name)
+	span.Attr("config", cache.ConfigID(uc.cfgIdx))
+	defer span.End()
+
+	// The fault site for distributed acceptance tests: UCP_FAULTS rules at
+	// worker.cell can delay, fail, or kill this replica mid-sweep so the
+	// coordinator's retry and failover paths get exercised for real.
+	if err := faults.Fire(ctx, "worker.cell",
+		fmt.Sprintf("%s/%s/%s", uc.bench.Name, cache.ConfigID(uc.cfgIdx), uc.tech)); err != nil {
+		s.analyzeErr(w, err)
+		return
+	}
+
+	var cell experiment.Cell
+	start := time.Now()
+	perr := s.pool.ForEach(ctx, 1, func(ctx context.Context, _ int) error {
+		var aerr error
+		cell, aerr = experiment.RunCell(ctx, uc.bench, uc.cfgIdx, uc.tech, experiment.Options{
+			Policy:           uc.cfg.Policy,
+			Runs:             uc.runs,
+			ValidationBudget: uc.budget,
+			SkipReduced:      req.SkipReduced,
+			Explain:          req.Explain,
+		})
+		return aerr
+	})
+	s.metrics.observeAnalysis(time.Since(start), perr == nil)
+	s.metrics.countPolicy(uc.cfg.Policy.String())
+	if perr != nil {
+		s.analyzeErr(w, perr)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, cell)
+}

@@ -1,0 +1,391 @@
+// Package store is the persistent tier of the content-addressed result
+// cache: a directory of immutable, sha256-keyed entry files that survives
+// process restarts and can be shared by several ucp-serve replicas over a
+// common filesystem. The analysis pipeline is deterministic — one
+// (program, config, tech, policy, options) key always names one result —
+// so an entry, once written, never changes; the store only ever creates,
+// reads, and deletes whole files.
+//
+// Durability and integrity:
+//
+//   - Writes are atomic: the envelope goes to a temporary file in the same
+//     directory, is fsynced, and is then renamed over the final name.
+//     Readers (this process or a sibling replica) see either the complete
+//     entry or none at all, never a torn write.
+//   - Every entry is a versioned envelope carrying the key it was written
+//     under and a SHA-256 over the payload bytes. Get verifies both; a
+//     truncated, corrupted, or misfiled entry is deleted and reported as a
+//     miss — the caller re-runs the analysis and rewrites the entry, so
+//     disk rot degrades into recomputation, never into wrong answers.
+//   - Flush fsyncs the directory itself, making the rename batch durable;
+//     ucp-serve calls it (via Close) while draining.
+//
+// Capacity is bounded by total payload bytes with least-recently-used
+// eviction. Recency is tracked in memory (seeded from file modification
+// times at Open), so eviction order is approximate across replicas —
+// acceptable for a cache whose misses are merely slower, not wrong.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// envelopeVersion tags the on-disk format; bumping it invalidates every
+// existing entry wholesale (they fail decoding and are evicted lazily).
+const envelopeVersion = 1
+
+// entrySuffix names entry files: <key>.ucp in the store directory.
+const entrySuffix = ".ucp"
+
+// envelope is the on-disk entry format. Sum is the lowercase hex SHA-256
+// of Payload exactly as stored; Key repeats the content address so a file
+// renamed or copied under the wrong name is detected as misfiled.
+type envelope struct {
+	V       int             `json:"v"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Stats is a point-in-time snapshot of the store's counters and occupancy.
+type Stats struct {
+	Hits      int64 // Get calls answered from a verified entry
+	Misses    int64 // Get calls with no (usable) entry
+	Evictions int64 // entries removed: capacity pressure or failed integrity
+	Corrupt   int64 // subset of Evictions caused by integrity failures
+	Entries   int   // resident entries (as indexed by this process)
+	Bytes     int64 // resident payload+envelope bytes
+}
+
+// Store is a bounded, persistent, content-addressed result store. Safe for
+// concurrent use by multiple goroutines; safe for concurrent use by
+// multiple processes sharing the directory (entries are immutable and
+// writes atomic — only the eviction accounting is per-process).
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu   sync.Mutex
+	ents map[string]*entry // key -> index entry
+	size int64             // sum of indexed file sizes
+	seq  int64             // recency clock; higher = more recent
+
+	hits, misses, evictions, corrupt atomic.Int64
+	closed                           atomic.Bool
+}
+
+// entry is the in-memory index record for one on-disk file.
+type entry struct {
+	size int64
+	seq  int64 // last-use tick (monotonic, per process)
+}
+
+// DefaultMaxBytes bounds a store whose caller passed no explicit budget:
+// 256 MiB holds on the order of a hundred thousand result envelopes.
+const DefaultMaxBytes = 256 << 20
+
+// Open creates (if needed) and indexes the store directory. Existing
+// entries are adopted with recency seeded from their modification times;
+// their contents are verified lazily on Get, not up front, so opening a
+// large store is one directory scan. An unreadable directory is an error;
+// unreadable individual files are skipped (they will read as misses).
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes, ents: map[string]*entry{}}
+
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	type adopted struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var found []adopted
+	for _, de := range names {
+		name := de.Name()
+		key, ok := strings.CutSuffix(name, entrySuffix)
+		if !ok || !validKey(key) {
+			// Foreign files (editor droppings, tmp files from a crashed
+			// writer) are left alone and never counted against the budget.
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, adopted{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	// Oldest first, so the in-memory recency order reproduces the on-disk
+	// modification order and eviction starts with the stalest entries.
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime < found[j].mtime })
+	for _, a := range found {
+		s.seq++
+		s.ents[a.key] = &entry{size: a.size, seq: s.seq}
+		s.size += a.size
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validKey constrains keys to lowercase hex (the sha256 content addresses
+// the service produces), which doubles as a path-traversal guard: a key
+// can never name anything outside the store directory.
+func validKey(key string) bool {
+	if len(key) < 16 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+entrySuffix)
+}
+
+// Get returns the payload stored under key, verifying the envelope's
+// version, key echo, and integrity hash. A missing entry is a miss; an
+// unreadable or corrupted one is deleted (counted as a corrupt eviction)
+// and reported as a miss — never as an error, because the caller can
+// always recompute. Entries written by sibling replicas are found even if
+// this process has never indexed them.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if s == nil || !validKey(key) || s.closed.Load() {
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		s.drop(key, false)
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil ||
+		env.V != envelopeVersion || env.Key != key || !sumMatches(env) {
+		// Truncated write from a crashed sibling, bit rot, or a misfiled
+		// copy: evict the carcass so the next Put can heal it.
+		s.misses.Add(1)
+		s.corrupt.Add(1)
+		s.evictions.Add(1)
+		s.removeFile(key)
+		s.drop(key, false)
+		return nil, false
+	}
+	s.touch(key, int64(len(raw)))
+	s.hits.Add(1)
+	return env.Payload, true
+}
+
+func sumMatches(env envelope) bool {
+	want, err := hex.DecodeString(env.Sum)
+	if err != nil || len(want) != sha256.Size {
+		return false
+	}
+	got := sha256.Sum256(env.Payload)
+	return got == [sha256.Size]byte(want)
+}
+
+// Put stores payload under key with write-temp-then-rename atomicity. A
+// key already resident is refreshed in recency but not rewritten (entries
+// are immutable — same key, same bytes). Putting more than the budget in
+// one entry is allowed; it simply evicts everything else.
+func (s *Store) Put(key string, payload []byte) error {
+	if s == nil {
+		return nil
+	}
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	if s.closed.Load() {
+		return fmt.Errorf("store: closed")
+	}
+
+	s.mu.Lock()
+	if e, ok := s.ents[key]; ok {
+		s.seq++
+		e.seq = s.seq
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	sum := sha256.Sum256(payload)
+	raw, err := json.Marshal(envelope{
+		V:       envelopeVersion,
+		Key:     key,
+		Sum:     hex.EncodeToString(sum[:]),
+		Payload: json.RawMessage(payload),
+	})
+	if err != nil {
+		return fmt.Errorf("store: encode %s: %w", key, err)
+	}
+
+	// Temp file in the same directory so the rename is same-filesystem and
+	// atomic; fsync before rename so the entry is never renamed into place
+	// with its data still in flight.
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(raw); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, s.path(key))
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+
+	s.mu.Lock()
+	s.seq++
+	// A racing Put of the same key may have indexed it while we wrote; the
+	// rename already collapsed the files, so only refresh the index.
+	if e, ok := s.ents[key]; ok {
+		e.seq = s.seq
+		e.size = int64(len(raw))
+	} else {
+		s.ents[key] = &entry{size: int64(len(raw)), seq: s.seq}
+		s.size += int64(len(raw))
+	}
+	victims := s.evictLocked(key)
+	s.mu.Unlock()
+	for _, v := range victims {
+		s.evictions.Add(1)
+		s.removeFile(v)
+	}
+	return nil
+}
+
+// evictLocked selects least-recently-used victims until the store is back
+// within budget, never evicting keep. It updates the index; the caller
+// removes the files outside the lock. Caller holds s.mu.
+func (s *Store) evictLocked(keep string) []string {
+	if s.size <= s.maxBytes {
+		return nil
+	}
+	type cand struct {
+		key string
+		seq int64
+	}
+	cands := make([]cand, 0, len(s.ents))
+	for k, e := range s.ents {
+		if k != keep {
+			cands = append(cands, cand{key: k, seq: e.seq})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
+	var victims []string
+	for _, c := range cands {
+		if s.size <= s.maxBytes {
+			break
+		}
+		s.size -= s.ents[c.key].size
+		delete(s.ents, c.key)
+		victims = append(victims, c.key)
+	}
+	return victims
+}
+
+// touch records a use of key, adopting entries this process has not
+// indexed yet (a sibling replica wrote them).
+func (s *Store) touch(key string, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	if e, ok := s.ents[key]; ok {
+		e.seq = s.seq
+		return
+	}
+	s.ents[key] = &entry{size: size, seq: s.seq}
+	s.size += size
+}
+
+// drop removes key from the index only (the file is handled separately).
+func (s *Store) drop(key string, _ bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.ents[key]; ok {
+		s.size -= e.size
+		delete(s.ents, key)
+	}
+}
+
+// removeFile best-effort deletes key's entry file; a racing sibling may
+// have removed it already.
+func (s *Store) removeFile(key string) {
+	_ = os.Remove(s.path(key))
+}
+
+// Flush makes the current entry set durable by fsyncing the store
+// directory: every rename performed so far survives a crash after Flush
+// returns. Entry data is already fsynced at Put time.
+func (s *Store) Flush() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and marks the store closed; subsequent Gets miss and Puts
+// fail. Close is how a draining ucp-serve guarantees its last results are
+// on disk before the process exits.
+func (s *Store) Close() error {
+	if s == nil || s.closed.Swap(true) {
+		return nil
+	}
+	return s.Flush()
+}
+
+// Stats snapshots the counters and occupancy.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	entries, bytes := len(s.ents), s.size
+	s.mu.Unlock()
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}
