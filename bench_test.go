@@ -110,6 +110,30 @@ func BenchmarkFigure3Policy(b *testing.B) {
 	}
 }
 
+// BenchmarkHierarchyFrontier regenerates the hierarchy frontier: the
+// Figure 3 sub-sweep with an 8KB L2 behind every L1 (BENCH_PR8.json), so
+// the cost of the two-level analysis stack — per-level abstract
+// interpretation, three-outcome pricing, the L2 candidate phase — is
+// tracked next to the single-level sweep it extends.
+func BenchmarkHierarchyFrontier(b *testing.B) {
+	var suite *experiment.Suite
+	for i := 0; i < b.N; i++ {
+		var err error
+		suite, err = experiment.Run(experiment.Options{
+			Programs:         benchPrograms,
+			Configs:          benchConfigs,
+			Techs:            []energy.Tech{energy.Tech45},
+			L2:               cache.Config{Assoc: 4, BlockBytes: 32, CapacityBytes: 8192},
+			Runs:             1,
+			ValidationBudget: 80,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	suite.HierarchyFrontier(benchOut(b))
+}
+
 // BenchmarkFigure4 regenerates Figure 4: the miss-rate impact per cache
 // size.
 func BenchmarkFigure4(b *testing.B) {

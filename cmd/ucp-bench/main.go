@@ -10,6 +10,8 @@
 //	ucp-bench -all -out results.txt          # the full 37×36×2 sweep
 //	ucp-bench -figure 3 -worker-urls http://w1:8081,http://w2:8081
 //	                                         # fan the cells across replicas
+//	ucp-bench -figure 9 -programs fdct,crc -configs k1 -l2s none,4x32x8192
+//	                                         # hierarchy frontier: L1-only vs L1+L2
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"ucp/internal/cache"
 	"ucp/internal/cliutil"
 	"ucp/internal/dist"
 	"ucp/internal/experiment"
@@ -33,7 +36,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.Int("figure", 0, "render one figure: 3, 4, 5, 7 or 8")
+		figure   = flag.Int("figure", 0, "render one figure: 3, 4, 5, 7, 8 or 9 (hierarchy frontier)")
 		table    = flag.Int("table", 0, "render one table: 1 or 2")
 		all      = flag.Bool("all", false, "render every figure (and the headline averages)")
 		programs = flag.String("programs", "all", "comma-separated benchmark subset")
@@ -48,7 +51,9 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-cell completion lines (benchmark, config, policy, duration) to stderr via the span recorder")
 		out      = flag.String("out", "", "also write the report to this file")
 		csvOut   = flag.String("csv", "", "write the raw per-use-case measurements to this CSV file")
+		l2Sweep  = flag.String("l2s", "", "comma-separated L2 sweep axis (ASSOCxBLOCKxCAPACITY[:policy] or none), e.g. none,4x32x8192")
 	)
+	l2Flag := cliutil.L2Flags(nil)
 	flag.Parse()
 
 	if *table != 0 {
@@ -76,12 +81,22 @@ func main() {
 	exitOn(err)
 	pol, err := cliutil.Policy(*policy)
 	exitOn(err)
+	l2, err := l2Flag()
+	exitOn(err)
+	l2s, err := cliutil.L2GeometryList(*l2Sweep)
+	exitOn(err)
+	if l2 != (cache.Config{}) && len(l2s) > 0 {
+		fmt.Fprintln(os.Stderr, "pass either the -l2-* flags (one L2 for every cell) or -l2s (a sweep axis), not both")
+		os.Exit(2)
+	}
 
 	opts := experiment.Options{
 		Programs:         progs,
 		Configs:          cfgs,
 		Techs:            tns,
 		Policy:           pol,
+		L2:               l2,
+		L2s:              l2s,
 		Runs:             *runs,
 		ValidationBudget: *budget,
 		Workers:          *workers,
@@ -127,9 +142,17 @@ func main() {
 				}
 				return ""
 			}
-			fmt.Fprintf(os.Stderr, "cell %-12v %-4v %-5v %-5v inserted=%-3v %v\n",
-				get("program"), get("config"), get("tech"), get("policy"),
-				get("inserted"), d.Round(time.Millisecond))
+			line := fmt.Sprintf("cell %-12v %-4v %-5v %-5v inserted=%-3v",
+				get("program"), get("config"), get("tech"), get("policy"), get("inserted"))
+			// Hierarchy cells carry per-level tallies; single-level cells
+			// only the L1 pair.
+			if h := get("l1_hits"); h != "" {
+				line += fmt.Sprintf(" l1(hit/miss)=%v/%v", h, get("l1_misses"))
+			}
+			if h := get("l2_hits"); h != "" {
+				line += fmt.Sprintf(" l2(hit/miss)=%v/%v", h, get("l2_misses"))
+			}
+			fmt.Fprintf(os.Stderr, "%s %v\n", line, d.Round(time.Millisecond))
 		}
 		ctx = rec.Install(ctx)
 		defer rec.Release()
@@ -173,6 +196,10 @@ func main() {
 		exitOn(suite.Figure7(w))
 		fmt.Fprintln(w)
 		exitOn(suite.Figure8(w))
+		if hierSweep(suite) {
+			fmt.Fprintln(w)
+			exitOn(suite.HierarchyFrontier(w))
+		}
 		return
 	}
 	switch *figure {
@@ -186,10 +213,23 @@ func main() {
 		exitOn(suite.Figure7(w))
 	case 8:
 		exitOn(suite.Figure8(w))
+	case 9:
+		exitOn(suite.HierarchyFrontier(w))
 	default:
-		fmt.Fprintln(os.Stderr, "unknown figure; want 3, 4, 5, 7 or 8")
+		fmt.Fprintln(os.Stderr, "unknown figure; want 3, 4, 5, 7, 8 or 9")
 		os.Exit(2)
 	}
+}
+
+// hierSweep reports whether any cell of the sweep ran a two-level
+// hierarchy (the hierarchy frontier is only worth rendering then).
+func hierSweep(s *experiment.Suite) bool {
+	for _, c := range s.Cells {
+		if c.HasL2() {
+			return true
+		}
+	}
+	return false
 }
 
 func exitOn(err error) {

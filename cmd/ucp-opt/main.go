@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ucp-opt -program fdct -config k5 -tech 45nm [-policy lru|fifo|plru] [-budget 700] [-dump] [-explain]
+//	ucp-opt -program fdct -config k1 -l2-assoc 4 -l2-block-bytes 32 -l2-capacity-bytes 8192 -explain
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"ucp/internal/cache"
 	"ucp/internal/cliutil"
 	"ucp/internal/core"
 	"ucp/internal/energy"
@@ -32,6 +34,7 @@ func main() {
 		dump    = flag.Bool("dump", false, "dump the optimized program's prefetch instructions")
 		explain = flag.Bool("explain", false, "print the per-candidate decision report (why each prefetch was inserted or rejected)")
 	)
+	l2Flag := cliutil.L2Flags(nil)
 	flag.Parse()
 
 	prog, label, err := cliutil.LoadProgram(*program)
@@ -48,6 +51,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	l2, err := l2Flag()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	h := cache.Hier1(cfg)
+	h.L2 = l2
+	if err := h.Valid(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	// SIGINT/SIGTERM abort the optimization cooperatively: the current pass
 	// unwinds, nothing is emitted (the optimization is all-or-nothing), and
@@ -55,8 +69,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	mdl := energy.NewModel(cfg, tn)
-	opt, rep, err := core.Optimize(ctx, prog, cfg, core.Options{
+	mdl := energy.NewModelHier(h, tn)
+	opt, rep, err := core.OptimizeHier(ctx, prog, h, core.Options{
 		Par: mdl.WCETParams(), ValidationBudget: *budget, Explain: *explain,
 	})
 	if err != nil {
@@ -72,9 +86,26 @@ func main() {
 		label, prog.NInstr(), len(prog.Blocks), len(prog.Loops))
 	fmt.Printf("cache     %s %v  (%d sets × %d ways, %dB blocks)\n",
 		*config, cfg, cfg.NumSets(), cfg.Assoc, cfg.BlockBytes)
+	if h.HasL2() {
+		fmt.Printf("L2        %v  (%d sets × %d ways, %dB blocks)\n",
+			h.L2, h.L2.NumSets(), h.L2.Assoc, h.L2.BlockBytes)
+	}
 	fmt.Printf("memory    %s\n", mdl)
 	fmt.Println()
-	fmt.Printf("prefetches inserted   %d (after pruning %d parasites)\n", rep.Inserted, rep.Pruned)
+	if h.HasL2() {
+		var l2pft int
+		for _, blk := range opt.Blocks {
+			for _, in := range blk.Instrs {
+				if in.Kind == isa.KindPrefetch && in.Level == 2 {
+					l2pft++
+				}
+			}
+		}
+		fmt.Printf("prefetches inserted   %d (%d into L1, %d into L2; after pruning %d parasites)\n",
+			rep.Inserted, rep.Inserted-l2pft, l2pft, rep.Pruned)
+	} else {
+		fmt.Printf("prefetches inserted   %d (after pruning %d parasites)\n", rep.Inserted, rep.Pruned)
+	}
 	fmt.Printf("candidates examined   %d over %d passes, %d re-analyses\n", rep.Candidates, rep.Passes, rep.Validations)
 	fmt.Printf("rejections            terminator=%d no-use=%d already-hit=%d ineffective=%d "+
 		"target-is-prefetch=%d duplicate=%d validation=%d\n",
@@ -84,6 +115,9 @@ func main() {
 	fmt.Printf("τ_w (memory WCET)     %d -> %d cycles  (%.2f%% reduction)\n",
 		rep.TauBefore, rep.TauAfter, 100*(1-float64(rep.TauAfter)/float64(rep.TauBefore)))
 	fmt.Printf("WCET-scenario misses  %d -> %d\n", rep.MissesBefore, rep.MissesAfter)
+	if h.HasL2() {
+		fmt.Printf("WCET L2 misses        %d -> %d\n", rep.L2MissesBefore, rep.L2MissesAfter)
+	}
 	fmt.Printf("WCET-scenario fetches %d -> %d (%+.2f%%)\n",
 		rep.FetchesBefore, rep.FetchesAfter,
 		100*(float64(rep.FetchesAfter)/float64(rep.FetchesBefore)-1))
@@ -95,7 +129,11 @@ func main() {
 			if d.Inserted {
 				verdict = "INSERTED"
 			}
-			fmt.Printf("  bb%d[%d] target %#x: %-8s %-18s", d.Block, d.Index, d.Target, verdict, d.Reason)
+			lvl := ""
+			if d.Level == 2 {
+				lvl = " L2"
+			}
+			fmt.Printf("  bb%d[%d]%s target %#x: %-8s %-18s", d.Block, d.Index, lvl, d.Target, verdict, d.Reason)
 			switch d.Reason {
 			case "no-next-use":
 				// No insertion point was ever established; the costs are
@@ -110,6 +148,9 @@ func main() {
 				}
 				fmt.Printf(" gap=%d Λ=%d effective=%t profitable=%t",
 					d.Gap, d.Lambda, d.Effective, d.Profitable)
+				if d.L1Class != "" || d.L2Class != "" {
+					fmt.Printf(" class(L1/L2)=%s/%s", d.L1Class, d.L2Class)
+				}
 			}
 			fmt.Println()
 		}
@@ -124,8 +165,12 @@ func main() {
 					continue
 				}
 				ref := isa.InstrRef{Block: blk.ID, Index: i}
-				fmt.Printf("  %#06x: prefetch block %#x (target %v at %#06x)\n",
-					lay.Addr(ref), lay.PrefetchTargetBlock(ref, cfg.BlockBytes),
+				bb, level := cfg.BlockBytes, "L1"
+				if in.Level == 2 {
+					bb, level = h.L2.BlockBytes, "L2"
+				}
+				fmt.Printf("  %#06x: prefetch %s block %#x (target %v at %#06x)\n",
+					lay.Addr(ref), level, lay.PrefetchTargetBlock(ref, bb),
 					in.Target, lay.Addr(in.Target))
 			}
 		}

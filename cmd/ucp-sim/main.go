@@ -6,6 +6,7 @@
 // Usage:
 //
 //	ucp-sim -program adpcm -config k2 -tech 32nm [-policy lru|fifo|plru] [-runs 5] [-hw next-line-tagged] [-locked]
+//	ucp-sim -program adpcm -config k1 -l2-assoc 4 -l2-block-bytes 32 -l2-capacity-bytes 8192
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"ucp/internal/cache"
 	"ucp/internal/cliutil"
 	"ucp/internal/core"
 	"ucp/internal/energy"
@@ -33,6 +35,7 @@ func main() {
 		hwName  = flag.String("hw", "", "attach a hardware prefetcher baseline (e.g. next-line-tagged)")
 		locked  = flag.Bool("locked", false, "also report the statically locked cache baseline")
 	)
+	l2Flag := cliutil.L2Flags(nil)
 	flag.Parse()
 
 	b, err := cliutil.Benchmark(*program)
@@ -49,29 +52,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	l2, err := l2Flag()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	h := cache.Hier1(cfg)
+	h.L2 = l2
+	if err := h.Valid(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
-	mdl := energy.NewModel(cfg, tn)
+	mdl := energy.NewModelHier(h, tn)
 	par := mdl.WCETParams()
 	base := sim.Options{Par: par, Seed: *seed, Runs: *runs}
 
-	fmt.Printf("program %s on %s %v at %s (%d runs)\n\n", b.Name, *config, cfg, tn, *runs)
+	if h.HasL2() {
+		fmt.Printf("program %s on %s %v + L2 %v at %s (%d runs)\n\n", b.Name, *config, cfg, h.L2, tn, *runs)
+	} else {
+		fmt.Printf("program %s on %s %v at %s (%d runs)\n\n", b.Name, *config, cfg, tn, *runs)
+	}
 	report := func(label string, s sim.Stats) {
 		e := mdl.Energy(s.Account())
-		fmt.Printf("%-22s acet=%-9.0f missrate=%6.2f%%  dram=%-7d pft(iss/red)=%d/%d  energy=%.1fnJ (dyn %.1f + static %.1f)\n",
+		fmt.Printf("%-22s acet=%-9.0f missrate=%6.2f%%  dram=%-7d pft(iss/red)=%d/%d  energy=%.1fnJ (dyn %.1f + static %.1f)",
 			label, s.ACETCycles(), 100*s.MissRate(), s.DRAMReads,
 			s.PrefetchIssued, s.PrefetchRedundant,
 			e.TotalPJ()/1e3/float64(s.Runs), e.DynamicPJ/1e3/float64(s.Runs), e.StaticPJ/1e3/float64(s.Runs))
+		if h.HasL2() {
+			fmt.Printf("  l2(hit/miss)=%d/%d l2missrate=%.2f%%", s.L2Hits, s.L2Misses, 100*s.L2MissRate())
+		}
+		fmt.Println()
 	}
 
-	orig := sim.Run(b.Prog, cfg, base)
+	orig := sim.RunHier(b.Prog, h, base)
 	report("original", orig)
 
-	opt, rep, err := core.Optimize(context.Background(), b.Prog, cfg, core.Options{Par: par})
+	opt, rep, err := core.OptimizeHier(context.Background(), b.Prog, h, core.Options{Par: par})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "optimize:", err)
 		os.Exit(1)
 	}
-	optStats := sim.Run(opt, cfg, base)
+	optStats := sim.RunHier(opt, h, base)
 	report(fmt.Sprintf("optimized (+%d pft)", rep.Inserted), optStats)
 
 	if *hwName != "" {
@@ -91,7 +113,7 @@ func main() {
 		}
 		o := base
 		o.HW = hw
-		report("hw: "+hw.Name(), sim.Run(b.Prog, cfg, o))
+		report("hw: "+hw.Name(), sim.RunHier(b.Prog, h, o))
 	}
 
 	if *locked {
@@ -102,7 +124,7 @@ func main() {
 		}
 		o := base
 		o.Locked = sel.Blocks
-		report(fmt.Sprintf("locked (%d blocks)", len(sel.Blocks)), sim.Run(b.Prog, cfg, o))
+		report(fmt.Sprintf("locked (%d blocks)", len(sel.Blocks)), sim.RunHier(b.Prog, h, o))
 		fmt.Printf("\nlocked-cache WCET bound: %d cycles (exact); unlocked analysis bound: see ucp-wcet\n", sel.TauW)
 	}
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	ucp-wcet -program crc -config k14 -tech 45nm [-policy lru|fifo|plru] [-ilp] [-contexts] [-trace]
+//	ucp-wcet -program crc -config k1 -l2-assoc 4 -l2-block-bytes 32 -l2-capacity-bytes 8192
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"ucp/internal/absint"
+	"ucp/internal/cache"
 	"ucp/internal/cliutil"
 	"ucp/internal/energy"
 	"ucp/internal/ipet"
@@ -34,6 +36,7 @@ func main() {
 		contexts = flag.Bool("contexts", false, "print the per-context classification table")
 		trace    = flag.Bool("trace", false, "print the pipeline span tree (where the analysis time went)")
 	)
+	l2Flag := cliutil.L2Flags(nil)
 	flag.Parse()
 
 	b, err := cliutil.Benchmark(*program)
@@ -50,15 +53,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	l2, err := l2Flag()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	h := cache.Hier1(cfg)
+	h.L2 = l2
+	if err := h.Valid(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
-	mdl := energy.NewModel(cfg, tn)
+	mdl := energy.NewModelHier(h, tn)
 	ctx := context.Background()
 	var rec *obs.Recorder
 	if *trace {
 		rec = obs.NewRecorder("wcet")
 		ctx = rec.Install(ctx)
 	}
-	res, err := wcet.Analyze(ctx, b.Prog, cfg, mdl.WCETParams())
+	res, err := wcet.AnalyzeHier(ctx, b.Prog, h, mdl.WCETParams())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
@@ -82,12 +96,40 @@ func main() {
 	fmt.Printf("program    %s (%s): %d instructions, %d expanded references in %d contexts\n",
 		b.Name, b.ID, b.Prog.NInstr(), total, len(res.X.Blocks))
 	fmt.Printf("cache      %s %v\n", *config, cfg)
-	fmt.Printf("timing     hit=%d miss=%d Λ=%d cycles\n", res.Par.HitCycles, res.Par.MissCycles(), res.Par.Lambda)
+	if h.HasL2() {
+		fmt.Printf("L2         %v\n", h.L2)
+		fmt.Printf("timing     hit=%d l2hit=%d miss=%d Λ=%d cycles\n",
+			res.Par.HitCycles, res.Par.HitCycles+res.Par.L2HitCycles, res.Par.MissCycles(), res.Par.Lambda)
+	} else {
+		fmt.Printf("timing     hit=%d miss=%d Λ=%d cycles\n", res.Par.HitCycles, res.Par.MissCycles(), res.Par.Lambda)
+	}
 	fmt.Println()
 	fmt.Printf("classification  AH %d (%.1f%%)  AM %d (%.1f%%)  NC %d (%.1f%%)\n",
 		ah, pct(ah, total), am, pct(am, total), nc, pct(nc, total))
-	fmt.Printf("τ_w             %d cycles over %d WCET-scenario fetches (%d misses)\n",
-		res.TauW, res.Fetches, res.Misses)
+	if res.AI2 != nil {
+		var ah2, am2, nc2 int64
+		for _, xb := range res.X.Blocks {
+			for _, cl := range res.AI2.Class[xb.ID] {
+				switch cl {
+				case absint.AlwaysHit:
+					ah2++
+				case absint.AlwaysMiss:
+					am2++
+				default:
+					nc2++
+				}
+			}
+		}
+		fmt.Printf("L2 class        AH %d (%.1f%%)  AM %d (%.1f%%)  NC %d (%.1f%%)\n",
+			ah2, pct(ah2, total), am2, pct(am2, total), nc2, pct(nc2, total))
+	}
+	if h.HasL2() {
+		fmt.Printf("τ_w             %d cycles over %d WCET-scenario fetches (%d L1 misses, %d L2 misses)\n",
+			res.TauW, res.Fetches, res.Misses, res.L2Misses)
+	} else {
+		fmt.Printf("τ_w             %d cycles over %d WCET-scenario fetches (%d misses)\n",
+			res.TauW, res.Fetches, res.Misses)
+	}
 
 	if *ilpCheck {
 		form, err := ipet.BuildExtra(res.X, res.Cost, res.Extra)

@@ -99,7 +99,9 @@ func analyze(ctx context.Context, x *vivu.Prog, lay *isa.Layout, cfg cache.Confi
 		rowBuf = rowBuf[:0]
 		for i, ins := range instrs {
 			op := opRec{acc: lay.MemBlock(isa.InstrRef{Block: xb.Orig, Index: i}, cfg.BlockBytes)}
-			if ins.Kind == isa.KindPrefetch {
+			// A prefetch targeting level 2 fills the L2 only; at this (L1)
+			// level its fetch is an ordinary reference with no fill effect.
+			if ins.Kind == isa.KindPrefetch && ins.Level < 2 {
 				op.pft = true
 				op.tgt = lay.MemBlock(ins.Target, cfg.BlockBytes)
 			}

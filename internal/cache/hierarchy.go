@@ -1,0 +1,55 @@
+package cache
+
+import "fmt"
+
+// Hierarchy describes a one- or two-level instruction cache: the L1
+// configuration the paper's single-level model analyzes, plus an optional
+// L2. The zero value of L2 (no associativity, no capacity) means "no second
+// level", so a Hierarchy built from a bare L1 config behaves — and hashes —
+// exactly like the single-level model. Hierarchy is comparable, which the
+// analysis layers rely on for their identity checks (prev.Hier != hier).
+type Hierarchy struct {
+	L1 Config
+	L2 Config
+}
+
+// Hier1 wraps a single-level configuration into a hierarchy with no L2.
+func Hier1(l1 Config) Hierarchy { return Hierarchy{L1: l1} }
+
+// HasL2 reports whether a second cache level is configured.
+func (h Hierarchy) HasL2() bool { return h.L2 != (Config{}) }
+
+// Valid reports whether the hierarchy is internally consistent: the L1 must
+// be valid on its own; a configured L2 must be valid, at least as large as
+// the L1, and use a block size that is a multiple of the L1's (so one L2
+// fill covers whole L1 blocks — the geometry every multi-level cache
+// analysis, including Hardy & Puaut's, assumes).
+func (h Hierarchy) Valid() error {
+	if err := h.L1.Valid(); err != nil {
+		return err
+	}
+	if !h.HasL2() {
+		return nil
+	}
+	if err := h.L2.Valid(); err != nil {
+		return err
+	}
+	if h.L2.CapacityBytes < h.L1.CapacityBytes {
+		return fmt.Errorf("cache: L2 capacity %d smaller than L1 capacity %d",
+			h.L2.CapacityBytes, h.L1.CapacityBytes)
+	}
+	if h.L2.BlockBytes%h.L1.BlockBytes != 0 {
+		return fmt.Errorf("cache: L2 block size %d not a multiple of L1 block size %d",
+			h.L2.BlockBytes, h.L1.BlockBytes)
+	}
+	return nil
+}
+
+// String renders the hierarchy: the L1 alone for a single-level hierarchy,
+// "L1+L2" otherwise.
+func (h Hierarchy) String() string {
+	if !h.HasL2() {
+		return h.L1.String()
+	}
+	return h.L1.String() + "+" + h.L2.String()
+}

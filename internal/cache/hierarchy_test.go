@@ -1,0 +1,60 @@
+package cache
+
+import "testing"
+
+func TestHierarchyZeroValueIsSingleLevel(t *testing.T) {
+	l1 := Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 1024}
+	h := Hier1(l1)
+	if h.HasL2() {
+		t.Fatal("Hier1 must not report an L2")
+	}
+	if err := h.Valid(); err != nil {
+		t.Fatalf("single-level hierarchy invalid: %v", err)
+	}
+	if h != (Hierarchy{L1: l1}) {
+		t.Fatal("Hier1 must equal the zero-L2 literal")
+	}
+}
+
+func TestHierarchyValid(t *testing.T) {
+	l1 := Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 1024}
+	good := Hierarchy{L1: l1, L2: Config{Assoc: 4, BlockBytes: 32, CapacityBytes: 8192}}
+	if err := good.Valid(); err != nil {
+		t.Fatalf("valid hierarchy rejected: %v", err)
+	}
+	if !good.HasL2() {
+		t.Fatal("HasL2 false for configured L2")
+	}
+}
+
+func TestHierarchyValidDegenerate(t *testing.T) {
+	l1 := Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 1024}
+	cases := []struct {
+		name string
+		h    Hierarchy
+	}{
+		{"invalid L1", Hierarchy{L1: Config{Assoc: 0, BlockBytes: 16, CapacityBytes: 1024}}},
+		{"invalid L2 geometry", Hierarchy{L1: l1, L2: Config{Assoc: 3, BlockBytes: 16, CapacityBytes: 8192}}},
+		{"L2 zero assoc", Hierarchy{L1: l1, L2: Config{BlockBytes: 32, CapacityBytes: 8192}}},
+		{"L2 smaller than L1", Hierarchy{L1: l1, L2: Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 512}}},
+		{"L2 block not multiple of L1", Hierarchy{L1: Config{Assoc: 2, BlockBytes: 32, CapacityBytes: 1024}, L2: Config{Assoc: 2, BlockBytes: 48, CapacityBytes: 8192}}},
+		{"L2 block smaller than L1", Hierarchy{L1: Config{Assoc: 2, BlockBytes: 32, CapacityBytes: 1024}, L2: Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 8192}}},
+	}
+	for _, tc := range cases {
+		if err := tc.h.Valid(); err == nil {
+			t.Errorf("%s: Valid() accepted %+v", tc.name, tc.h)
+		}
+	}
+}
+
+func TestHierarchyString(t *testing.T) {
+	l1 := Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 1024}
+	if got := Hier1(l1).String(); got != l1.String() {
+		t.Fatalf("single-level String = %q, want %q", got, l1.String())
+	}
+	h := Hierarchy{L1: l1, L2: Config{Assoc: 4, BlockBytes: 32, CapacityBytes: 8192}}
+	want := "(2,16,1024)+(4,32,8192)"
+	if got := h.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

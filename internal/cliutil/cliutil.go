@@ -4,6 +4,7 @@
 package cliutil
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -42,6 +43,88 @@ func PolicyList(s string) ([]cache.Policy, error) {
 			return nil, err
 		}
 		out = append(out, p)
+	}
+	return out, nil
+}
+
+// L2Flags registers the -l2-assoc, -l2-block-bytes, -l2-capacity-bytes and
+// -l2-policy flags on fs (the default command-line set when nil) and returns
+// a resolver to call after flag parsing. Leaving every flag at its default
+// resolves to the zero Config — the single-level marker every layer treats
+// as "no L2"; setting any geometry flag requires all three.
+func L2Flags(fs *flag.FlagSet) func() (cache.Config, error) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	assoc := fs.Int("l2-assoc", 0, "L2 associativity (0 = no L2; the three l2 geometry flags go together)")
+	block := fs.Int("l2-block-bytes", 0, "L2 block size in bytes (a multiple of the L1's)")
+	capacity := fs.Int("l2-capacity-bytes", 0, "L2 capacity in bytes (at least the L1's)")
+	policy := fs.String("l2-policy", "", "L2 replacement policy: lru, fifo, or plru (default lru)")
+	return func() (cache.Config, error) {
+		if *assoc == 0 && *block == 0 && *capacity == 0 && *policy == "" {
+			return cache.Config{}, nil
+		}
+		if *assoc <= 0 || *block <= 0 || *capacity <= 0 {
+			return cache.Config{}, fmt.Errorf("an L2 needs -l2-assoc, -l2-block-bytes and -l2-capacity-bytes together")
+		}
+		pol, err := Policy(*policy)
+		if err != nil {
+			return cache.Config{}, fmt.Errorf("l2: %v", err)
+		}
+		cfg := cache.Config{Assoc: *assoc, BlockBytes: *block, CapacityBytes: *capacity, Policy: pol}
+		if err := cfg.Valid(); err != nil {
+			return cache.Config{}, fmt.Errorf("l2: %v", err)
+		}
+		return cfg, nil
+	}
+}
+
+// L2Geometry parses an "ASSOCxBLOCKxCAPACITY[:policy]" L2 description, e.g.
+// "4x32x8192" or "2x64x16384:fifo". The empty string and "none" are the
+// single-level marker and yield the zero Config.
+func L2Geometry(s string) (cache.Config, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return cache.Config{}, nil
+	}
+	geom, polName, _ := strings.Cut(s, ":")
+	parts := strings.Split(geom, "x")
+	if len(parts) != 3 {
+		return cache.Config{}, fmt.Errorf("bad L2 geometry %q (want ASSOCxBLOCKxCAPACITY[:policy] or none)", s)
+	}
+	var dims [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return cache.Config{}, fmt.Errorf("bad L2 geometry %q: %q is not a positive integer", s, p)
+		}
+		dims[i] = n
+	}
+	pol, err := Policy(polName)
+	if err != nil {
+		return cache.Config{}, fmt.Errorf("l2 %q: %v", s, err)
+	}
+	cfg := cache.Config{Assoc: dims[0], BlockBytes: dims[1], CapacityBytes: dims[2], Policy: pol}
+	if err := cfg.Valid(); err != nil {
+		return cache.Config{}, fmt.Errorf("l2 %q: %v", s, err)
+	}
+	return cfg, nil
+}
+
+// L2GeometryList parses a comma-separated list of L2 geometries — a
+// hierarchy sweep axis. "none" entries select a single-level cell, so
+// "none,4x32x8192" sweeps L1-only against L1+L2.
+func L2GeometryList(s string) ([]cache.Config, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []cache.Config
+	for _, part := range strings.Split(s, ",") {
+		cfg, err := L2Geometry(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
 	}
 	return out, nil
 }

@@ -142,7 +142,9 @@ type pathStep struct {
 // findNextUse walks the WCET path forward from the reference following r and
 // returns the first reference to memory block target, the WCET-scenario
 // time spent strictly between r and that use (Equation 5), and the walked
-// path (for downstream placement sliding).
+// path (for downstream placement sliding). The l2 flag selects the block
+// granularity the target is matched at (the prefetch-into-L2 phase walks in
+// L2 blocks).
 //
 // The walk follows the WCET successors of the expanded graph. A residual
 // back edge may be traversed once per loop instance — emulating the exit of
@@ -150,9 +152,13 @@ type pathStep struct {
 // which the already-walked blocks are not re-entered.
 // The returned path aliases the optimizer's reusable buffer and is only
 // valid until the next findNextUse call.
-func (o *optimizer) findNextUse(r vivu.Ref, target uint64) (use vivu.Ref, gap int64, path []pathStep, found bool) {
+func (o *optimizer) findNextUse(r vivu.Ref, target uint64, l2 bool) (use vivu.Ref, gap int64, path []pathStep, found bool) {
 	res := o.res
 	x := res.X
+	blockOf := o.memBlockOf
+	if l2 {
+		blockOf = o.memBlock2Of
+	}
 	o.beginVisits()
 	o.addVisit(r.XB)
 	cur := r
@@ -168,7 +174,7 @@ func (o *optimizer) findNextUse(r vivu.Ref, target uint64) (use vivu.Ref, gap in
 		if next.Index == 0 {
 			o.addVisit(next.XB)
 		}
-		if o.memBlockOf(next) == target {
+		if blockOf(next) == target {
 			// Backfill the remaining time after every path position.
 			acc := int64(0)
 			for i := len(path) - 1; i >= 0; i-- {

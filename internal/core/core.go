@@ -90,6 +90,11 @@ type Decision struct {
 	Index  int    `json:"index"`
 	Target uint64 `json:"target"`
 
+	// Level is the cache level the candidate prefetch fills: 0 for the
+	// classic L1 prefetch, 2 for the prefetch-into-L2 candidate class of
+	// hierarchy runs.
+	Level uint8 `json:"level,omitempty"`
+
 	// At is the chosen insertion point (original coordinates) and Before
 	// its placement side; Use is the targeted reference r_j. Meaningful
 	// once an insertion point was found — not for the "no-next-use" and
@@ -97,6 +102,13 @@ type Decision struct {
 	At     isa.InstrRef `json:"insert_at"`
 	Before bool         `json:"insert_before,omitempty"`
 	Use    isa.InstrRef `json:"use"`
+
+	// L1Class and L2Class are the per-level analysis verdicts of the
+	// targeted use at decision time ("ah", "am", "fm", "nc"); L2Class is
+	// empty when no L2 is configured. Filled for decisions that identified
+	// a use.
+	L1Class string `json:"l1_class,omitempty"`
+	L2Class string `json:"l2_class,omitempty"`
 
 	// MCost is the τ_w contribution of the targeted miss — what the
 	// prefetch can save (Equation 2 for r_j). PCost is the fetch cost of
@@ -145,6 +157,10 @@ type Report struct {
 	MissesAfter   int64
 	FetchesBefore int64
 	FetchesAfter  int64
+	// L2MissesBefore/After are the WCET-scenario L2 miss counts; zero for
+	// single-level runs.
+	L2MissesBefore int64
+	L2MissesAfter  int64
 
 	// Decisions is the explain report (Options.Explain): one entry per
 	// distinct candidate, inserted and rejected alike.
@@ -161,12 +177,27 @@ type Report struct {
 // Theorem 1 is all-or-nothing, there is no partially validated result to
 // misuse (see DESIGN.md §10).
 func Optimize(ctx context.Context, p *isa.Program, cfg cache.Config, opt Options) (*isa.Program, *Report, error) {
+	return OptimizeHier(ctx, p, cache.Hier1(cfg), opt)
+}
+
+// OptimizeHier optimizes p for the cache hierarchy h. With no L2 configured
+// it is exactly Optimize on h.L1 — same analyses, same decisions, same
+// output bits. With an L2, the classic L1 candidate phase runs first against
+// the hierarchical analysis (fetch outcomes priced per level), then a second
+// phase proposes prefetch-into-L2 candidates: Level-2 prefetches whose fill
+// installs into the L2 only, converting guaranteed future L2 misses into L2
+// hits. Both phases commit through the same validate-or-rollback machinery,
+// so Theorem 1 (τ_w never increases) holds for the hierarchy by the same
+// construction, with the joint miss count (L1+L2) taking the role of the
+// WCET-scenario miss count in Condition 2.
+func OptimizeHier(ctx context.Context, p *isa.Program, h cache.Hierarchy, opt Options) (*isa.Program, *Report, error) {
 	if err := opt.Par.Valid(); err != nil {
 		return nil, nil, err
 	}
-	if err := cfg.Valid(); err != nil {
+	if err := h.Valid(); err != nil {
 		return nil, nil, err
 	}
+	cfg := h.L1
 	ctx, span := obs.Start(ctx, "core.optimize")
 	defer span.End()
 	q := p.Clone()
@@ -179,7 +210,7 @@ func Optimize(ctx context.Context, p *isa.Program, cfg cache.Config, opt Options
 		maxIns = p.NInstr()
 	}
 
-	res, err := wcet.AnalyzeX(ctx, x, cfg, opt.Par)
+	res, err := wcet.AnalyzeXHier(ctx, x, h, opt.Par)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -190,17 +221,22 @@ func Optimize(ctx context.Context, p *isa.Program, cfg cache.Config, opt Options
 	// run. The intern table travels down the result chain.
 	res.AI.Intern()
 	rep := &Report{
-		TauBefore:     res.TauW,
-		MissesBefore:  res.Misses,
-		FetchesBefore: res.Fetches,
+		TauBefore:      res.TauW,
+		MissesBefore:   res.Misses,
+		L2MissesBefore: res.L2Misses,
+		FetchesBefore:  res.Fetches,
 	}
 
 	bwCfg := cfg
 	bwCfg.Policy = cache.LRU
 	o := &optimizer{
-		x: x, cfg: cfg, bwCfg: bwCfg, opt: opt, rep: rep, res: res,
+		x: x, cfg: cfg, h: h, bwCfg: bwCfg, opt: opt, rep: rep, res: res,
 		rejected: map[candidateKey]bool{},
 		ctx:      ctx, chk: interrupt.NewChecker(ctx, 64),
+	}
+	if h.HasL2() {
+		o.bwCfg2 = h.L2
+		o.bwCfg2.Policy = cache.LRU
 	}
 	if opt.Explain {
 		o.dec = newDecisionLog()
@@ -239,6 +275,39 @@ func Optimize(ctx context.Context, p *isa.Program, cfg cache.Config, opt Options
 		}
 	}
 
+	// Prefetch-into-L2 phase: with the L1 candidates settled, a second
+	// reverse walk at L2 block granularity proposes Level-2 prefetches for
+	// blocks that provably cannot survive in the L2 until their next use.
+	// Converting those L2 misses into L2 hits shaves the full MissPenalty
+	// off every remaining L1-miss fetch of the block, at the price of one
+	// extra fetched instruction — Equation 9 with the L2 terms.
+	if h.HasL2() {
+		for rep.Inserted < maxIns && rep.Validations < o.budget {
+			rep.Passes++
+			cands, err := o.collectL2()
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(cands) == 0 {
+				break
+			}
+			if len(cands) > maxIns-rep.Inserted {
+				cands = cands[:maxIns-rep.Inserted]
+			}
+			n, err := o.bisect(cands)
+			if err != nil {
+				return nil, nil, err
+			}
+			if debugEnabled {
+				fmt.Printf("l2 pass %d: cands=%d accepted=%d validations=%d\n", rep.Passes, len(cands), n, rep.Validations)
+			}
+			rep.Inserted += n
+			if n == 0 {
+				break
+			}
+		}
+	}
+
 	// Remove the prefetches that failed to convert their target into a hit
 	// (see prune.go); they would only waste fetch cycles and DRAM energy.
 	if !opt.DisableValidation && rep.Inserted > 0 {
@@ -251,6 +320,7 @@ func Optimize(ctx context.Context, p *isa.Program, cfg cache.Config, opt Options
 
 	rep.TauAfter = o.res.TauW
 	rep.MissesAfter = o.res.Misses
+	rep.L2MissesAfter = o.res.L2Misses
 	rep.FetchesAfter = o.res.Fetches
 	if o.dec != nil {
 		rep.Decisions = o.dec.list
@@ -284,6 +354,7 @@ var debugEnabled = os.Getenv("UCP_DEBUG") != ""
 type candidateKey struct {
 	block, index int    // replacing reference r_i (original coordinates)
 	target       uint64 // replaced memory block s'
+	level        uint8  // cache level the prefetch fills (0 = L1, 2 = L2)
 }
 
 // candidate is one proposed prefetch insertion.
@@ -294,11 +365,17 @@ type candidate struct {
 	key    candidateKey
 	value  int64 // τ_w contribution of the targeted miss (ranking key)
 	gap    int64 // WCET-scenario time between insertion point and use
+	level  uint8 // cache level the prefetch fills (0 = L1, 2 = L2)
+	// l1c/l2c are the per-level verdicts of the use at screen time, for the
+	// explain report (empty when Explain is off).
+	l1c, l2c string
 }
 
 type optimizer struct {
 	x   *vivu.Prog
 	cfg cache.Config
+	// h is the cache hierarchy being optimized for; h.L1 == cfg always.
+	h cache.Hierarchy
 	// ctx and chk make the run cancellable: the reverse walk polls the
 	// amortized checker per expanded block, and every validation re-analysis
 	// passes ctx down to the fixpoint.
@@ -324,6 +401,12 @@ type optimizer struct {
 	bwRes *wcet.Result
 	// bwScratch is the reusable walking state of collect's reverse sweep.
 	bwScratch *cache.State
+	// bwCfg2/bwOut2/bwRes2/bwScratch2 are the L2-granularity counterparts
+	// used by the prefetch-into-L2 phase (see hier.go); unused without an L2.
+	bwCfg2     cache.Config
+	bwOut2     []*cache.State
+	bwRes2     *wcet.Result
+	bwScratch2 *cache.State
 	// topoPos[id] is the position of expanded block id in x.Topo (the
 	// expansion, and hence this order, is stable across insertions).
 	topoPos []int
@@ -409,11 +492,11 @@ func (o *optimizer) screen(r vivu.Ref, evicted uint64) (candidate, bool) {
 	o.rep.Candidates++
 	origRef := res.X.InstrRef(r)
 
-	key := candidateKey{origRef.Block, origRef.Index, evicted}
+	key := candidateKey{origRef.Block, origRef.Index, evicted, 1}
 	if o.rejected[key] {
 		return candidate{}, false
 	}
-	use, gap, path, found := o.findNextUse(r, evicted)
+	use, gap, path, found := o.findNextUse(r, evicted, false)
 	if !found {
 		o.rep.RejectedNoUse++
 		if o.dec != nil {
@@ -448,8 +531,10 @@ func (o *optimizer) screen(r vivu.Ref, evicted uint64) (candidate, bool) {
 	if !o.opt.DisableMissCheck && res.RefTime(use) <= o.opt.Par.HitCycles {
 		o.rep.RejectedAlreadyHit++
 		if o.dec != nil {
+			l1c, l2c := o.classOf(use)
 			o.explainReject(key, "already-hit", Decision{
 				At: at, Before: before, Use: useRef,
+				L1Class: l1c, L2Class: l2c,
 				MCost: res.Contribution(use), PCost: o.explainPCost(at.Block), Gap: gap,
 				Effective: gap >= o.opt.Par.Lambda,
 			})
@@ -469,7 +554,7 @@ func (o *optimizer) screen(r vivu.Ref, evicted uint64) (candidate, bool) {
 		}
 		return candidate{}, false
 	}
-	if o.duplicateAt(at, evicted) {
+	if o.duplicateAt(at, evicted, 0) {
 		o.rep.RejectedDuplicate++
 		if o.dec != nil {
 			o.explainReject(key, "duplicate", Decision{
@@ -480,10 +565,24 @@ func (o *optimizer) screen(r vivu.Ref, evicted uint64) (candidate, bool) {
 		}
 		return candidate{}, false
 	}
-	return candidate{
+	c := candidate{
 		at: at, before: before, use: useRef, key: key,
 		value: res.Contribution(use), gap: gap,
-	}, true
+	}
+	if o.dec != nil {
+		c.l1c, c.l2c = o.classOf(use)
+	}
+	return c, true
+}
+
+// classOf returns the per-level classification strings of a reference, for
+// the explain report; the L2 verdict is empty without a configured L2.
+func (o *optimizer) classOf(use vivu.Ref) (l1, l2 string) {
+	l1 = o.res.AI.Class[use.XB][use.Index].String()
+	if o.res.AI2 != nil {
+		l2 = o.res.AI2.Class[use.XB][use.Index].String()
+	}
+	return l1, l2
 }
 
 // explainPCost is insertionFetchCost gated on the explain log being live,
@@ -577,7 +676,7 @@ func (o *optimizer) trySubset(cands []candidate) (bool, error) {
 		poss = make([]isa.InstrRef, len(sorted))
 	}
 	for ci, c := range sorted {
-		ins := isa.Instr{Kind: isa.KindPrefetch, Target: c.use}
+		ins := isa.Instr{Kind: isa.KindPrefetch, Level: c.level, Target: c.use}
 		var pos isa.InstrRef
 		if c.before {
 			pos = prog.InsertInstrBefore(c.at, ins)
@@ -607,7 +706,13 @@ func (o *optimizer) trySubset(cands []candidate) (bool, error) {
 	if err := o.refresh(); err != nil {
 		return false, err
 	}
-	if o.opt.DisableValidation || (o.res.TauW <= prevRes.TauW && o.res.Misses < prevRes.Misses) {
+	// Condition 2 counts misses jointly across the hierarchy: an L1
+	// prefetch removes an L1 miss, a Level-2 prefetch removes an L2 miss,
+	// and either kind must not re-introduce misses at the other level. For
+	// single-level runs L2Misses is identically zero and this is exactly
+	// the original condition.
+	if o.opt.DisableValidation ||
+		(o.res.TauW <= prevRes.TauW && o.res.Misses+o.res.L2Misses < prevRes.Misses+prevRes.L2Misses) {
 		for _, ins := range inserted {
 			o.insLog = append(o.insLog, ins)
 		}
@@ -640,7 +745,7 @@ var testRefreshCheck func(*wcet.Result)
 // (see backward()), so replacing o.res invalidates it exactly once per
 // refresh.
 func (o *optimizer) refresh() error {
-	res, err := wcet.AnalyzeXFrom(o.ctx, o.x, o.cfg, o.opt.Par, o.res)
+	res, err := wcet.AnalyzeXHierFrom(o.ctx, o.x, o.h, o.opt.Par, o.res)
 	if err != nil {
 		return err
 	}
@@ -682,19 +787,23 @@ func (o *optimizer) insertionPoint(r vivu.Ref, origRef isa.InstrRef) (isa.InstrR
 	return isa.InstrRef{Block: res.X.Blocks[best].Orig, Index: 0}, true, true
 }
 
-// duplicateAt reports whether an equivalent prefetch (same target block)
-// already sits adjacent to the insertion point.
-func (o *optimizer) duplicateAt(origRef isa.InstrRef, target uint64) bool {
+// duplicateAt reports whether an equivalent prefetch (same target block at
+// the same cache level) already sits adjacent to the insertion point.
+func (o *optimizer) duplicateAt(origRef isa.InstrRef, target uint64, level uint8) bool {
 	b := o.res.Prog.Blocks[origRef.Block]
+	bb := o.cfg.BlockBytes
+	if level == 2 {
+		bb = o.h.L2.BlockBytes
+	}
 	for _, idx := range []int{origRef.Index, origRef.Index + 1, origRef.Index + 2} {
 		if idx < 0 || idx >= len(b.Instrs) {
 			continue
 		}
 		in := b.Instrs[idx]
-		if in.Kind != isa.KindPrefetch {
+		if in.Kind != isa.KindPrefetch || (in.Level == 2) != (level == 2) {
 			continue
 		}
-		if o.res.Lay.MemBlock(in.Target, o.cfg.BlockBytes) == target {
+		if o.res.Lay.MemBlock(in.Target, bb) == target {
 			return true
 		}
 	}
@@ -703,4 +812,9 @@ func (o *optimizer) duplicateAt(origRef isa.InstrRef, target uint64) bool {
 
 func (o *optimizer) memBlockOf(r vivu.Ref) uint64 {
 	return o.res.Lay.MemBlock(o.res.X.InstrRef(r), o.cfg.BlockBytes)
+}
+
+// memBlock2Of maps a reference to its L2 memory block.
+func (o *optimizer) memBlock2Of(r vivu.Ref) uint64 {
+	return o.res.Lay.MemBlock(o.res.X.InstrRef(r), o.h.L2.BlockBytes)
 }

@@ -95,6 +95,7 @@ func (o *optimizer) explainReject(key candidateKey, reason string, d Decision) {
 		return
 	}
 	d.Block, d.Index, d.Target = key.block, key.index, key.target
+	d.Level = key.level
 	d.Lambda = o.opt.Par.Lambda
 	d.Reason = reason
 	o.dec.record(key, d)
@@ -116,7 +117,8 @@ func (o *optimizer) explainInsert(c candidate, pos isa.InstrRef, grown int) {
 	}
 	idx := o.dec.record(c.key, Decision{
 		Block: c.key.block, Index: c.key.index, Target: c.key.target,
-		At: c.at, Before: c.before, Use: c.use,
+		Level: c.level, At: c.at, Before: c.before, Use: c.use,
+		L1Class: c.l1c, L2Class: c.l2c,
 		MCost: c.value, PCost: o.insertionFetchCost(c.at.Block),
 		Gap: c.gap, Lambda: o.opt.Par.Lambda,
 		Effective: true, Profitable: true,
@@ -136,7 +138,8 @@ func (o *optimizer) explainValidationReject(c candidate, rcost int64) {
 	}
 	o.dec.record(c.key, Decision{
 		Block: c.key.block, Index: c.key.index, Target: c.key.target,
-		At: c.at, Before: c.before, Use: c.use,
+		Level: c.level, At: c.at, Before: c.before, Use: c.use,
+		L1Class: c.l1c, L2Class: c.l2c,
 		MCost: c.value, PCost: o.insertionFetchCost(c.at.Block), RCost: rcost,
 		Gap: c.gap, Lambda: o.opt.Par.Lambda,
 		Effective: true, Profitable: true,

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"ucp/internal/cache"
+	"ucp/internal/isa"
+	"ucp/internal/malardalen"
+	"ucp/internal/wcet"
+)
+
+// TestSingleLevelDifferentialGolden is the hierarchy refactor's differential
+// golden: with no L2 configured, the hierarchy-aware pipeline must be
+// byte-identical to the original single-level one — same optimized program
+// fingerprint, same report numbers, same WCET — across the Mälardalen suite
+// and all three replacement policies. Any drift here means the zero-value
+// gating leaks hierarchy behavior into single-level runs.
+func TestSingleLevelDifferentialGolden(t *testing.T) {
+	par := wcet.Params{HitCycles: 1, MissPenalty: 9, Lambda: 10}
+	benches := malardalen.All()
+	if testing.Short() {
+		benches = benches[:10]
+	}
+	for _, pol := range cache.Policies() {
+		cfg := cache.Config{Assoc: 2, BlockBytes: 16, CapacityBytes: 256, Policy: pol}
+		h := cache.Hier1(cfg)
+		for _, b := range benches {
+			// Analysis level: the hierarchy entry point with Hier1 must
+			// reproduce the single-level result exactly.
+			r1, err := wcet.Analyze(context.Background(), b.Prog, cfg, par)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, pol, err)
+			}
+			r2, err := wcet.AnalyzeHier(context.Background(), b.Prog, h, par)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, pol, err)
+			}
+			if r1.TauW != r2.TauW || r1.Misses != r2.Misses || r1.Fetches != r2.Fetches {
+				t.Errorf("%s/%s: analysis drift: τ_w %d vs %d, misses %d vs %d, fetches %d vs %d",
+					b.Name, pol, r1.TauW, r2.TauW, r1.Misses, r2.Misses, r1.Fetches, r2.Fetches)
+			}
+			if r2.L2Misses != 0 || r2.AI2 != nil {
+				t.Errorf("%s/%s: single-level analysis grew L2 state", b.Name, pol)
+			}
+
+			// Optimizer level: same insertions, same program bytes.
+			o := Options{Par: par, ValidationBudget: 25}
+			p1, rep1, err := Optimize(context.Background(), b.Prog, cfg, o)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, pol, err)
+			}
+			p2, rep2, err := OptimizeHier(context.Background(), b.Prog, h, o)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, pol, err)
+			}
+			if fp1, fp2 := isa.Fingerprint(p1), isa.Fingerprint(p2); fp1 != fp2 {
+				t.Errorf("%s/%s: optimized program fingerprints diverge: %s vs %s", b.Name, pol, fp1, fp2)
+			}
+			if rep1.TauAfter != rep2.TauAfter || rep1.Inserted != rep2.Inserted ||
+				rep1.MissesAfter != rep2.MissesAfter || rep1.Validations != rep2.Validations {
+				t.Errorf("%s/%s: report drift: τ %d vs %d, inserted %d vs %d, misses %d vs %d, validations %d vs %d",
+					b.Name, pol, rep1.TauAfter, rep2.TauAfter, rep1.Inserted, rep2.Inserted,
+					rep1.MissesAfter, rep2.MissesAfter, rep1.Validations, rep2.Validations)
+			}
+			if rep2.L2MissesBefore != 0 || rep2.L2MissesAfter != 0 {
+				t.Errorf("%s/%s: single-level report carries L2 misses", b.Name, pol)
+			}
+		}
+	}
+}

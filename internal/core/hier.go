@@ -1,0 +1,217 @@
+package core
+
+import (
+	"ucp/internal/cache"
+	"ucp/internal/isa"
+	"ucp/internal/vivu"
+)
+
+// This file implements the prefetch-into-L2 candidate phase of hierarchy
+// optimizations. The proposal mechanism is the same reverse-execution-order
+// walk as the L1 phase (analysis.go), run at L2 block granularity against an
+// LRU image of the L2: a replacement event identifies an L2 block that
+// cannot survive in the L2 until its next use — a guaranteed future L2 miss
+// — and the point right behind the replacing reference is the latest
+// insertion point from which a Level-2 prefetch fill still survives there.
+//
+// The Equation 9 accounting differs from the L1 phase in what the prefetch
+// can save: a Level-2 prefetch leaves the L1 untouched, so the targeted
+// fetch still pays HitCycles + L2HitCycles — only the MissPenalty term is
+// removable. mcost is therefore MissPenalty × n_w(r_j), and the already-hit
+// screen passes only when the use currently pays more than an L2 hit.
+// Commitment runs through the same validate-or-rollback analysis as the L1
+// phase, with the joint L1+L2 miss count as Condition 2.
+
+// backward2 returns the per-block backward L2 states for the current
+// analysis result, cached per result pointer like backward().
+func (o *optimizer) backward2() []*cache.State {
+	if o.bwRes2 != o.res {
+		o.bwOut2 = o.backwardOut2()
+		o.bwRes2 = o.res
+	}
+	return o.bwOut2
+}
+
+// backwardOut2 mirrors backwardOut at L2 granularity.
+func (o *optimizer) backwardOut2() []*cache.State {
+	res := o.res
+	x := res.X
+	n := len(x.Blocks)
+	bwIn := make([]*cache.State, n)
+	bwOut := make([]*cache.State, n)
+	valid := make([]bool, n)
+	for id := range bwIn {
+		bwIn[id] = cache.NewState(o.bwCfg2)
+		bwOut[id] = cache.NewState(o.bwCfg2)
+	}
+	for round := 0; round < 3; round++ {
+		for ti := len(x.Topo) - 1; ti >= 0; ti-- {
+			id := x.Topo[ti]
+			succ := o.wcetSuccBlock(id)
+			if succ == -1 || !valid[succ] {
+				bwOut[id].Reset()
+			} else {
+				bwOut[id].CopyFrom(bwIn[succ])
+			}
+			bwIn[id].CopyFrom(bwOut[id])
+			o.applyBackward2(bwIn[id], id, 0)
+			valid[id] = true
+		}
+	}
+	return bwOut
+}
+
+// applyBackward2 pushes the references of expanded block id through a
+// backward L2 state in reverse order, down to (and excluding) index stop.
+// Only prefetches that are effective *at the L2* (Level-2 prefetches whose
+// fill latency is hidden; see absint.AnalyzeL2) satisfy the future use of
+// their target there — an L1-level prefetch's fill passes through the L2 at
+// an unknown time and cannot be relied on.
+func (o *optimizer) applyBackward2(st *cache.State, id int, stop int) {
+	res := o.res
+	xb := res.X.Blocks[id]
+	instrs := res.Prog.Blocks[xb.Orig].Instrs
+	for i := len(instrs) - 1; i >= stop; i-- {
+		if instrs[i].Kind == isa.KindPrefetch && res.AI2 != nil && res.AI2.Effective[id][i] {
+			st.Remove(res.Lay.MemBlock(instrs[i].Target, o.h.L2.BlockBytes))
+		}
+		st.Access(o.memBlock2Of(vivu.Ref{XB: id, Index: i}))
+	}
+}
+
+// collectL2 runs one reverse sweep at L2 granularity and returns the
+// Level-2 prefetch candidates that pass every local check.
+func (o *optimizer) collectL2() ([]candidate, error) {
+	res := o.res
+	order := res.X.Topo
+	seen := map[candidateKey]bool{}
+	var out []candidate
+	bw := o.backward2()
+	if o.bwScratch2 == nil {
+		o.bwScratch2 = cache.NewState(o.bwCfg2)
+	}
+	st := o.bwScratch2
+	for ti := len(order) - 1; ti >= 0; ti-- {
+		if err := o.chk.Check(); err != nil {
+			return nil, err
+		}
+		xbID := order[ti]
+		if !res.OnWCETPath(xbID) {
+			continue
+		}
+		xb := res.X.Blocks[xbID]
+		instrs := res.Prog.Blocks[xb.Orig].Instrs
+		st.CopyFrom(bw[xbID])
+		for i := len(instrs) - 1; i >= 0; i-- {
+			r := vivu.Ref{XB: xbID, Index: i}
+			if instrs[i].Kind == isa.KindPrefetch && res.AI2.Effective[xbID][i] {
+				st.Remove(res.Lay.MemBlock(instrs[i].Target, o.h.L2.BlockBytes))
+			}
+			_, evicted := st.Access(o.memBlock2Of(r))
+			if evicted == cache.InvalidBlock {
+				continue
+			}
+			if c, ok := o.screenL2(r, evicted); ok && !seen[c.key] {
+				seen[c.key] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out, nil
+}
+
+// screenL2 applies the joint improvement criterion to one L2 replacement
+// event and builds the Level-2 candidate.
+func (o *optimizer) screenL2(r vivu.Ref, evicted uint64) (candidate, bool) {
+	res := o.res
+	o.rep.Candidates++
+	origRef := res.X.InstrRef(r)
+
+	key := candidateKey{origRef.Block, origRef.Index, evicted, 2}
+	if o.rejected[key] {
+		return candidate{}, false
+	}
+	use, gap, path, found := o.findNextUse(r, evicted, true)
+	if !found {
+		o.rep.RejectedNoUse++
+		if o.dec != nil {
+			o.explainReject(key, "no-next-use", Decision{})
+		}
+		return candidate{}, false
+	}
+	anchor := o.slidePlacement(path, use)
+	at, before, ok := o.insertionPoint(anchor, res.X.InstrRef(anchor))
+	if !ok {
+		o.rep.RejectedTerminator++
+		if o.dec != nil {
+			o.explainReject(key, "terminator", Decision{
+				Use: res.X.InstrRef(use), MCost: o.l2MCost(use), Gap: gap,
+			})
+		}
+		return candidate{}, false
+	}
+	useRef := res.X.InstrRef(use)
+	if res.Prog.Instr(useRef).Kind == isa.KindPrefetch {
+		o.rep.RejectedTargetIsPft++
+		if o.dec != nil {
+			o.explainReject(key, "target-is-prefetch", Decision{
+				At: at, Before: before, Use: useRef,
+				PCost: o.explainPCost(at.Block), Gap: gap,
+				Effective: gap >= o.opt.Par.Lambda,
+			})
+		}
+		return candidate{}, false
+	}
+	// Already served by the L2 (or the L1): the fetch pays at most an L2
+	// hit per execution, so there is no MissPenalty left to remove.
+	if !o.opt.DisableMissCheck && res.RefTime(use) <= o.opt.Par.HitCycles+o.opt.Par.L2HitCycles {
+		o.rep.RejectedAlreadyHit++
+		if o.dec != nil {
+			l1c, l2c := o.classOf(use)
+			o.explainReject(key, "already-hit", Decision{
+				At: at, Before: before, Use: useRef,
+				L1Class: l1c, L2Class: l2c,
+				MCost: o.l2MCost(use), PCost: o.explainPCost(at.Block), Gap: gap,
+				Effective: gap >= o.opt.Par.Lambda,
+			})
+		}
+		return candidate{}, false
+	}
+	if !o.opt.DisableEffectiveness && gap < o.opt.Par.Lambda {
+		o.rep.RejectedIneffective++
+		if o.dec != nil {
+			o.explainReject(key, "ineffective", Decision{
+				At: at, Before: before, Use: useRef,
+				MCost: o.l2MCost(use), PCost: o.explainPCost(at.Block), Gap: gap,
+				Profitable: o.l2MCost(use) > o.explainPCost(at.Block),
+			})
+		}
+		return candidate{}, false
+	}
+	if o.duplicateAt(at, evicted, 2) {
+		o.rep.RejectedDuplicate++
+		if o.dec != nil {
+			o.explainReject(key, "duplicate", Decision{
+				At: at, Before: before, Use: useRef,
+				MCost: o.l2MCost(use), PCost: o.explainPCost(at.Block), Gap: gap,
+				Effective: true,
+			})
+		}
+		return candidate{}, false
+	}
+	c := candidate{
+		at: at, before: before, use: useRef, key: key,
+		value: o.l2MCost(use), gap: gap, level: 2,
+	}
+	if o.dec != nil {
+		c.l1c, c.l2c = o.classOf(use)
+	}
+	return c, true
+}
+
+// l2MCost is the removable τ_w contribution of an L2 miss at the use: the
+// MissPenalty term per WCET-scenario execution. The HitCycles + L2HitCycles
+// part of the fetch stays whatever the Level-2 prefetch achieves.
+func (o *optimizer) l2MCost(use vivu.Ref) int64 {
+	return o.opt.Par.MissPenalty * o.res.RefCount(use)
+}

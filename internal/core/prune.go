@@ -115,7 +115,9 @@ func (o *optimizer) tryRemoveSubset(refs []isa.InstrRef) (bool, error) {
 	if err := o.refresh(); err != nil {
 		return false, err
 	}
-	if o.res.TauW <= prevRes.TauW && o.res.Misses <= prevRes.Misses {
+	// Joint miss count across the hierarchy, like trySubset's Condition 2:
+	// removing a parasite must not let a miss reappear at either level.
+	if o.res.TauW <= prevRes.TauW && o.res.Misses+o.res.L2Misses <= prevRes.Misses+prevRes.L2Misses {
 		o.trackRemovals(removed)
 		return true, nil
 	}

@@ -121,14 +121,24 @@ func New(o Options) (*Coordinator, error) {
 // cellRequest mirrors the worker endpoint's wire format
 // (service.workerCellRequest).
 type cellRequest struct {
-	Program          string `json:"program"`
-	Config           string `json:"config"`
-	Tech             string `json:"tech"`
-	Policy           string `json:"policy,omitempty"`
-	Runs             int    `json:"runs,omitempty"`
-	ValidationBudget int    `json:"validation_budget,omitempty"`
-	SkipReduced      bool   `json:"skip_reduced,omitempty"`
-	Explain          bool   `json:"explain,omitempty"`
+	Program          string         `json:"program"`
+	Config           string         `json:"config"`
+	Tech             string         `json:"tech"`
+	Policy           string         `json:"policy,omitempty"`
+	Runs             int            `json:"runs,omitempty"`
+	ValidationBudget int            `json:"validation_budget,omitempty"`
+	L2               *cellL2Request `json:"l2,omitempty"`
+	SkipReduced      bool           `json:"skip_reduced,omitempty"`
+	Explain          bool           `json:"explain,omitempty"`
+}
+
+// cellL2Request mirrors service.L2Request: the optional second cache level
+// of a hierarchy cell.
+type cellL2Request struct {
+	Assoc         int    `json:"assoc"`
+	BlockBytes    int    `json:"block_bytes"`
+	CapacityBytes int    `json:"capacity_bytes"`
+	Policy        string `json:"policy,omitempty"`
 }
 
 // permanentError is a worker answer that retrying cannot change.
@@ -150,7 +160,7 @@ func (c *Coordinator) Exec(ctx context.Context, b malardalen.Benchmark, cfgIdx i
 	span.Attr("config", cache.ConfigID(cfgIdx))
 	defer span.End()
 
-	body, err := json.Marshal(cellRequest{
+	req := cellRequest{
 		Program:          b.Name,
 		Config:           cache.ConfigID(cfgIdx),
 		Tech:             tech.String(),
@@ -159,7 +169,16 @@ func (c *Coordinator) Exec(ctx context.Context, b malardalen.Benchmark, cfgIdx i
 		ValidationBudget: o.ValidationBudget,
 		SkipReduced:      o.SkipReduced,
 		Explain:          o.Explain,
-	})
+	}
+	if o.L2 != (cache.Config{}) {
+		req.L2 = &cellL2Request{
+			Assoc:         o.L2.Assoc,
+			BlockBytes:    o.L2.BlockBytes,
+			CapacityBytes: o.L2.CapacityBytes,
+			Policy:        o.L2.Policy.String(),
+		}
+	}
+	body, err := json.Marshal(req)
 	if err != nil {
 		return experiment.Cell{}, err
 	}

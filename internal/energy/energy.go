@@ -91,13 +91,37 @@ type Model struct {
 	HitCycles   int64
 	MissPenalty int64
 	Lambda      int64
+
+	// Hier is the cache hierarchy the model was derived for; Hier.L1 == Cfg
+	// always. The remaining fields are zero for single-level models.
+	Hier cache.Hierarchy
+	// L2ReadPJ and L2FillPJ are the dynamic energies of an L2 access and an
+	// L2 block fill; L2LeakageMW is the L2's static power.
+	L2ReadPJ    float64
+	L2FillPJ    float64
+	L2LeakageMW float64
+	// L2HitCycles is the additional fetch time of an L1 miss served by the
+	// L2 (beyond HitCycles); always < MissPenalty.
+	L2HitCycles int64
 }
 
 // NewModel derives the model for cfg at tech.
 func NewModel(cfg cache.Config, tech Tech) Model {
-	if err := cfg.Valid(); err != nil {
+	return NewModelHier(cache.Hier1(cfg), tech)
+}
+
+// NewModelHier derives the model for the hierarchy h at tech. With no L2
+// configured it is exactly NewModel on h.L1: every L2 field stays zero and
+// the timing parameters are unchanged, so single-level results are
+// bit-identical. With an L2, the same geometric formulas price the L2's
+// reads, fills, and leakage, and the L2 hit latency is a deterministic
+// integer that grows logarithmically with capacity and always undercuts the
+// memory penalty.
+func NewModelHier(h cache.Hierarchy, tech Tech) Model {
+	if err := h.Valid(); err != nil {
 		panic(err)
 	}
+	cfg := h.L1
 	tp := paramsFor(tech)
 	capKB := float64(cfg.CapacityBytes) / 1024
 
@@ -119,9 +143,10 @@ func NewModel(cfg cache.Config, tech Tech) Model {
 	// not scale with the processor's technology node.
 	standby := 42.0
 
-	return Model{
+	m := Model{
 		Cfg:           cfg,
 		Tech:          tech,
+		Hier:          h,
 		CacheReadPJ:   read,
 		CacheFillPJ:   fill,
 		LeakageMW:     leak,
@@ -132,12 +157,39 @@ func NewModel(cfg cache.Config, tech Tech) Model {
 		MissPenalty:   tp.missCycles,
 		Lambda:        tp.missCycles,
 	}
+	if h.HasL2() {
+		l2 := h.L2
+		l2KB := float64(l2.CapacityBytes) / 1024
+		// The L2 is a larger, slower array of the same technology: the same
+		// read/fill/leakage formulas apply to its geometry.
+		m.L2ReadPJ = 4.2 * math.Pow(l2KB, 0.45) * math.Pow(float64(l2.Assoc), 0.32) *
+			math.Pow(float64(l2.BlockBytes)/16, 0.22) * tp.dynScale
+		m.L2FillPJ = 6.5 * math.Pow(l2KB, 0.30) * math.Pow(float64(l2.BlockBytes)/16, 0.85) * tp.dynScale
+		m.L2LeakageMW = 0.011 * l2KB * tp.leakScale
+		// L2 hit latency: 2 cycles of array access plus one per doubling of
+		// capacity, clamped strictly below the memory penalty so an L2 hit
+		// always beats a miss (wcet.Params.Valid enforces the same bound).
+		lat := 2 + int64(math.Round(math.Log2(l2KB)))
+		if lat < 1 {
+			lat = 1
+		}
+		if lat >= m.MissPenalty {
+			lat = m.MissPenalty - 1
+		}
+		m.L2HitCycles = lat
+	}
+	return m
 }
 
 // WCETParams returns the timing parameters for the WCET analysis and the
 // optimizer.
 func (m Model) WCETParams() wcet.Params {
-	return wcet.Params{HitCycles: m.HitCycles, MissPenalty: m.MissPenalty, Lambda: m.Lambda}
+	return wcet.Params{
+		HitCycles:   m.HitCycles,
+		MissPenalty: m.MissPenalty,
+		Lambda:      m.Lambda,
+		L2HitCycles: m.L2HitCycles,
+	}
 }
 
 // Account is the activity extract the energy model consumes: how often each
@@ -149,9 +201,13 @@ type Account struct {
 	// CacheFills is the number of blocks written into the cache (miss
 	// fills plus completed prefetch fills).
 	CacheFills int64
-	// DRAMReads is the number of level-two accesses (miss fills plus
+	// DRAMReads is the number of memory accesses (miss fills plus
 	// non-redundant prefetch fills).
 	DRAMReads int64
+	// L2Reads and L2Fills count L2 cache accesses and block fills; zero when
+	// no L2 is modeled, making their energy terms vanish.
+	L2Reads int64
+	L2Fills int64
 	// Cycles is the execution time the static power drains over.
 	Cycles int64
 }
@@ -167,12 +223,16 @@ func (b Breakdown) TotalPJ() float64 {
 	return b.DynamicPJ + b.StaticPJ
 }
 
-// Energy evaluates the account under the model.
+// Energy evaluates the account under the model. The L2 terms (dynamic per
+// L2 read/fill, static L2 leakage) are all zero for single-level models, so
+// pre-hierarchy breakdowns are unchanged to the bit.
 func (m Model) Energy(a Account) Breakdown {
 	dyn := float64(a.CacheReads)*m.CacheReadPJ +
 		float64(a.CacheFills)*m.CacheFillPJ +
-		float64(a.DRAMReads)*m.DRAMAccessPJ
-	static := (m.LeakageMW + m.DRAMStandbyMW) * float64(a.Cycles) * m.CycleNS // mW·ns = pJ
+		float64(a.DRAMReads)*m.DRAMAccessPJ +
+		float64(a.L2Reads)*m.L2ReadPJ +
+		float64(a.L2Fills)*m.L2FillPJ
+	static := (m.LeakageMW + m.L2LeakageMW + m.DRAMStandbyMW) * float64(a.Cycles) * m.CycleNS // mW·ns = pJ
 	return Breakdown{DynamicPJ: dyn, StaticPJ: static}
 }
 

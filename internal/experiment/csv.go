@@ -34,6 +34,15 @@ func (e *errWriter) Write(p []byte) (int, error) {
 func (s *Suite) WriteCSV(w io.Writer) error {
 	ew := &errWriter{w: w}
 	cw := csv.NewWriter(ew)
+	// The L2 columns appear only when the sweep actually ran a hierarchy;
+	// single-level sweeps keep the exact historical byte layout.
+	hasL2 := false
+	for _, c := range s.Cells {
+		if c.HasL2() {
+			hasL2 = true
+			break
+		}
+	}
 	header := []string{
 		"program", "config", "assoc", "block_bytes", "capacity_bytes", "policy", "tech",
 		"inserted", "cond3_reverted",
@@ -43,6 +52,12 @@ func (s *Suite) WriteCSV(w io.Writer) error {
 		"static_orig_pj", "static_opt_pj", "fetches_orig", "fetches_opt",
 		"tau_half", "acet_half", "energy_half_pj",
 		"tau_quarter", "acet_quarter", "energy_quarter_pj",
+	}
+	if hasL2 {
+		header = append(header,
+			"l2_assoc", "l2_block_bytes", "l2_capacity_bytes", "l2_policy",
+			"inserted_l2", "l2_wcet_misses_orig", "l2_wcet_misses_opt",
+			"l2_missrate_orig", "l2_missrate_opt")
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -69,6 +84,17 @@ func (s *Suite) WriteCSV(w io.Writer) error {
 			row = append(row, d(c.TauQuarter), f(c.ACETQuarter), f(c.EnergyQuarter))
 		} else {
 			row = append(row, "", "", "")
+		}
+		if hasL2 {
+			if c.HasL2() {
+				row = append(row,
+					d(int64(c.L2Cfg.Assoc)), d(int64(c.L2Cfg.BlockBytes)), d(int64(c.L2Cfg.CapacityBytes)),
+					c.L2Cfg.Policy.String(),
+					d(int64(c.InsertedL2)), d(c.L2MissWOrig), d(c.L2MissWOpt),
+					f(c.L2MissRateOrig), f(c.L2MissRateOpt))
+			} else {
+				row = append(row, "", "", "", "", "", "", "", "", "")
+			}
 		}
 		if err := cw.Write(row); err != nil {
 			return err

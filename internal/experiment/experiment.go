@@ -30,9 +30,14 @@ type Cell struct {
 	Program  string
 	ConfigID string
 	Cfg      cache.Config
-	Tech     energy.Tech
+	// L2Cfg is the second level of the swept hierarchy; the zero value
+	// means the cell ran the paper's single-level model.
+	L2Cfg cache.Config
+	Tech  energy.Tech
 
-	Inserted    int
+	Inserted int
+	// InsertedL2 counts the prefetch-into-L2 instructions among Inserted.
+	InsertedL2  int
 	Validations int
 	// Cond3Reverted records that the optimized binary was discarded
 	// because its simulated ACET regressed (Condition 3 guard).
@@ -41,15 +46,17 @@ type Cell struct {
 	// entry per prefetch candidate, inserted and rejected alike.
 	Decisions []core.Decision `json:",omitempty"`
 
-	TauOrig, TauOpt     int64
-	MissWOrig, MissWOpt int64
+	TauOrig, TauOpt         int64
+	MissWOrig, MissWOpt     int64
+	L2MissWOrig, L2MissWOpt int64
 
-	ACETOrig, ACETOpt         float64
-	MissRateOrig, MissRateOpt float64
-	EnergyOrig, EnergyOpt     float64 // total memory energy, pJ
-	DynOrig, DynOpt           float64
-	StaticOrig, StaticOpt     float64
-	FetchesOrig, FetchesOpt   float64
+	ACETOrig, ACETOpt             float64
+	MissRateOrig, MissRateOpt     float64
+	L2MissRateOrig, L2MissRateOpt float64
+	EnergyOrig, EnergyOpt         float64 // total memory energy, pJ
+	DynOrig, DynOpt               float64
+	StaticOrig, StaticOpt         float64
+	FetchesOrig, FetchesOpt       float64
 
 	// Reduced-capacity runs of the optimized binary (Figure 5); valid only
 	// when the halved/quartered configuration exists.
@@ -60,6 +67,9 @@ type Cell struct {
 	TauQuarter                 int64
 	ACETQuarter, EnergyQuarter float64
 }
+
+// HasL2 reports whether the cell measured a two-level hierarchy.
+func (c Cell) HasL2() bool { return c.L2Cfg != (cache.Config{}) }
 
 // CellExec executes one cell of the sweep matrix; its signature matches
 // RunCell, the local implementation. It is the remote-execution seam: a
@@ -80,6 +90,14 @@ type Options struct {
 	// Policy selects the cache replacement policy applied to every swept
 	// configuration (zero value = LRU, the paper's model).
 	Policy cache.Policy
+	// L2 backs every swept Table 2 configuration (the L1) with this second
+	// cache level. The zero value keeps the paper's single-level model.
+	L2 cache.Config
+	// L2s sweeps the hierarchy axis: the whole matrix runs once per entry
+	// (a zero entry means single-level). When set it overrides L2. The
+	// axis nests innermost, so the (program, config, technology) output
+	// order of single-level sweeps is unchanged.
+	L2s []cache.Config
 	// Runs is the number of average-case executions per measurement
 	// (default 3).
 	Runs int
@@ -124,6 +142,7 @@ type unit struct {
 	b    malardalen.Benchmark
 	ci   int
 	tech energy.Tech
+	l2   cache.Config
 }
 
 // units expands the options into the deterministic cell list.
@@ -152,11 +171,17 @@ func units(o Options) []unit {
 	if techs == nil {
 		techs = energy.Techs()
 	}
+	l2s := o.L2s
+	if l2s == nil {
+		l2s = []cache.Config{o.L2}
+	}
 	var out []unit
 	for _, b := range benches {
 		for _, ci := range cfgIdxs {
 			for _, tech := range techs {
-				out = append(out, unit{b: b, ci: ci, tech: tech})
+				for _, l2 := range l2s {
+					out = append(out, unit{b: b, ci: ci, tech: tech, l2: l2})
+				}
 			}
 		}
 	}
@@ -186,7 +211,11 @@ func Sweep(ctx context.Context, o Options) (*Suite, error) {
 	p := pool.New(o.Workers)
 	err := p.ForEach(ctx, len(us), func(ctx context.Context, i int) error {
 		u := us[i]
-		cell, err := exec(ctx, u.b, u.ci, u.tech, o)
+		// The hierarchy axis rides in the options so the CellExec seam —
+		// and every remote implementation behind it — stays unchanged.
+		uo := o
+		uo.L2, uo.L2s = u.l2, nil
+		cell, err := exec(ctx, u.b, u.ci, u.tech, uo)
 		if err != nil {
 			return fmt.Errorf("experiment: %s/%s/%v: %w", u.b.Name, cache.ConfigID(u.ci), u.tech, err)
 		}
@@ -224,6 +253,13 @@ func RunCell(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energ
 	if err := cfg.Valid(); err != nil {
 		return Cell{}, err
 	}
+	h := cache.Hier1(cfg)
+	if o.L2 != (cache.Config{}) {
+		h.L2 = o.L2
+	}
+	if err := h.Valid(); err != nil {
+		return Cell{}, err
+	}
 	if err := faults.Fire(ctx, "experiment.cell", fmt.Sprintf("%s/%s/%v", b.Name, cache.ConfigID(cfgIdx), tech)); err != nil {
 		return Cell{}, err
 	}
@@ -233,35 +269,41 @@ func RunCell(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energ
 		span.Attr("config", cache.ConfigID(cfgIdx))
 		span.Attr("tech", tech.String())
 		span.Attr("policy", cfg.Policy.String())
+		if h.HasL2() {
+			span.Attr("l2", h.L2.String())
+		}
 	}
 	defer span.End()
-	mdl := energy.NewModel(cfg, tech)
+	mdl := energy.NewModelHier(h, tech)
 	par := mdl.WCETParams()
 
 	cell := Cell{
 		Program:  b.Name,
 		ConfigID: cache.ConfigID(cfgIdx),
 		Cfg:      cfg,
+		L2Cfg:    h.L2,
 		Tech:     tech,
 	}
 
-	opt, rep, err := core.Optimize(ctx, b.Prog, cfg, core.Options{Par: par, ValidationBudget: o.ValidationBudget, Explain: o.Explain})
+	opt, rep, err := core.OptimizeHier(ctx, b.Prog, h, core.Options{Par: par, ValidationBudget: o.ValidationBudget, Explain: o.Explain})
 	if err != nil {
 		return cell, err
 	}
 	cell.Inserted = rep.Inserted
+	cell.InsertedL2 = countL2Prefetches(opt)
 	cell.Validations = rep.Validations
 	cell.Decisions = rep.Decisions
 	cell.TauOrig, cell.TauOpt = rep.TauBefore, rep.TauAfter
 	cell.MissWOrig, cell.MissWOpt = rep.MissesBefore, rep.MissesAfter
+	cell.L2MissWOrig, cell.L2MissWOpt = rep.L2MissesBefore, rep.L2MissesAfter
 
 	runs := o.Runs
 	if runs <= 0 {
 		runs = 3
 	}
 	so := sim.Options{Par: par, Seed: 7, Runs: runs}
-	sOrig := sim.Run(b.Prog, cfg, so)
-	sOpt := sim.Run(opt, cfg, so)
+	sOrig := sim.RunHier(b.Prog, h, so)
+	sOpt := sim.RunHier(opt, h, so)
 
 	// Conditions 2 and 3 (Section 2.3): a transformation that increases the
 	// measured ACET or the measured memory energy is rejected wholesale.
@@ -276,15 +318,19 @@ func RunCell(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energ
 		if sOpt.ACETCycles() > sOrig.ACETCycles()*1.002 || eOpt > eOrig*1.002 {
 			cell.Cond3Reverted = true
 			cell.Inserted = 0
+			cell.InsertedL2 = 0
 			opt = b.Prog
 			cell.TauOpt = cell.TauOrig
 			cell.MissWOpt = cell.MissWOrig
+			cell.L2MissWOpt = cell.L2MissWOrig
 			sOpt = sOrig
 		}
 	}
 	span.Attr("inserted", cell.Inserted)
+	recordLevelTallies(span, h, sOpt)
 	cell.ACETOrig, cell.ACETOpt = sOrig.ACETCycles(), sOpt.ACETCycles()
 	cell.MissRateOrig, cell.MissRateOpt = sOrig.MissRate(), sOpt.MissRate()
+	cell.L2MissRateOrig, cell.L2MissRateOpt = sOrig.L2MissRate(), sOpt.L2MissRate()
 	cell.FetchesOrig, cell.FetchesOpt = sOrig.FetchesPerRun(), sOpt.FetchesPerRun()
 	eo, ep := mdl.Energy(sOrig.Account()), mdl.Energy(sOpt.Account())
 	cell.EnergyOrig, cell.EnergyOpt = eo.TotalPJ(), ep.TotalPJ()
@@ -295,7 +341,7 @@ func RunCell(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energ
 	// compare against the original binary on the full-size cache — the
 	// "smaller caches through prefetching" experiment.
 	if !o.SkipReduced {
-		tau, acet, e, ok, err := reducedRun(ctx, b, cfg, 2, tech, o)
+		tau, acet, e, ok, err := reducedRun(ctx, b, h, 2, tech, o)
 		if err != nil {
 			return cell, err
 		}
@@ -303,7 +349,7 @@ func RunCell(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energ
 			cell.HasHalf = true
 			cell.TauHalf, cell.ACETHalf, cell.EnergyHalf = tau, acet, e
 		}
-		tau, acet, e, ok, err = reducedRun(ctx, b, cfg, 4, tech, o)
+		tau, acet, e, ok, err = reducedRun(ctx, b, h, 4, tech, o)
 		if err != nil {
 			return cell, err
 		}
@@ -315,18 +361,25 @@ func RunCell(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energ
 	return cell, nil
 }
 
-// reducedRun optimizes the program for the shrunk configuration and
-// measures it there. A shrunk configuration that cannot be optimized is
-// reported as ok=false (the figure simply lacks the series) — except for
-// interruptions, which must stop the whole cell and therefore propagate.
-func reducedRun(ctx context.Context, b malardalen.Benchmark, cfg cache.Config, factor int, tech energy.Tech, o Options) (tau int64, acet, energyPJ float64, ok bool, err error) {
-	small, valid := shrink(cfg, factor)
+// reducedRun optimizes the program for the hierarchy with a shrunk L1 and
+// measures it there (the L2, when present, keeps its size — the experiment
+// asks whether prefetching lets the *first* level shrink). A shrunk
+// configuration that cannot be optimized is reported as ok=false (the
+// figure simply lacks the series) — except for interruptions, which must
+// stop the whole cell and therefore propagate.
+func reducedRun(ctx context.Context, b malardalen.Benchmark, h cache.Hierarchy, factor int, tech energy.Tech, o Options) (tau int64, acet, energyPJ float64, ok bool, err error) {
+	small, valid := shrink(h.L1, factor)
 	if !valid {
 		return 0, 0, 0, false, nil
 	}
-	mdl := energy.NewModel(small, tech)
+	h2 := h
+	h2.L1 = small
+	if err := h2.Valid(); err != nil {
+		return 0, 0, 0, false, nil
+	}
+	mdl := energy.NewModelHier(h2, tech)
 	par := mdl.WCETParams()
-	opt, rep, err := core.Optimize(ctx, b.Prog, small, core.Options{Par: par, ValidationBudget: o.ValidationBudget})
+	opt, rep, err := core.OptimizeHier(ctx, b.Prog, h2, core.Options{Par: par, ValidationBudget: o.ValidationBudget})
 	if err != nil {
 		if interrupt.Is(err) {
 			return 0, 0, 0, false, err
@@ -337,8 +390,52 @@ func reducedRun(ctx context.Context, b malardalen.Benchmark, cfg cache.Config, f
 	if runs <= 0 {
 		runs = 3
 	}
-	s := sim.Run(opt, small, sim.Options{Par: par, Seed: 7, Runs: runs})
+	s := sim.RunHier(opt, h2, sim.Options{Par: par, Seed: 7, Runs: runs})
 	return rep.TauAfter, s.ACETCycles(), mdl.Energy(s.Account()).TotalPJ(), true, nil
+}
+
+// Per-level simulated hit/miss tallies, labeled by cache level. The cell
+// span carries the same numbers, so `ucp-bench -v` and traced service
+// requests show them per cell while /metrics aggregates them per process.
+var (
+	levelHits = obs.NewCounterVec("ucp_cache_level_hits_total",
+		"Simulated cache hits of the shipped binary, by cache level.", "level")
+	levelMisses = obs.NewCounterVec("ucp_cache_level_misses_total",
+		"Simulated cache misses of the shipped binary, by cache level.", "level")
+)
+
+// recordLevelTallies publishes the per-level hit/miss counts of the
+// measured (post-Condition-3) binary to the cell span and the metrics
+// registry. An L1 miss that the L2 serves counts as an L2 hit; only a miss
+// at the last level is a miss of that level.
+func recordLevelTallies(span *obs.Span, h cache.Hierarchy, s sim.Stats) {
+	if span != nil {
+		span.Attr("l1_hits", s.Hits)
+		span.Attr("l1_misses", s.Misses)
+		if h.HasL2() {
+			span.Attr("l2_hits", s.L2Hits)
+			span.Attr("l2_misses", s.L2Misses)
+		}
+	}
+	levelHits.With("1").Add(s.Hits)
+	levelMisses.With("1").Add(s.Misses)
+	if h.HasL2() {
+		levelHits.With("2").Add(s.L2Hits)
+		levelMisses.With("2").Add(s.L2Misses)
+	}
+}
+
+// countL2Prefetches counts the prefetch-into-L2 instructions of a program.
+func countL2Prefetches(p *isa.Program) int {
+	n := 0
+	for _, b := range p.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == isa.KindPrefetch && in.Level == 2 {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 func shrink(cfg cache.Config, factor int) (cache.Config, bool) {
@@ -352,8 +449,19 @@ func shrink(cfg cache.Config, factor int) (cache.Config, bool) {
 
 // OptimizedProgram exposes the per-cell optimization for the CLI tools.
 func OptimizedProgram(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energy.Tech, budget int, policy cache.Policy) (*isa.Program, *core.Report, error) {
+	return OptimizedProgramHier(ctx, b, cfgIdx, tech, budget, policy, cache.Config{})
+}
+
+// OptimizedProgramHier is OptimizedProgram with an optional L2 behind the
+// swept Table 2 configuration (zero value = single-level).
+func OptimizedProgramHier(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energy.Tech, budget int, policy cache.Policy, l2 cache.Config) (*isa.Program, *core.Report, error) {
 	cfg := cache.Table2()[cfgIdx]
 	cfg.Policy = policy
-	mdl := energy.NewModel(cfg, tech)
-	return core.Optimize(ctx, b.Prog, cfg, core.Options{Par: mdl.WCETParams(), ValidationBudget: budget})
+	h := cache.Hier1(cfg)
+	h.L2 = l2
+	if err := h.Valid(); err != nil {
+		return nil, nil, err
+	}
+	mdl := energy.NewModelHier(h, tech)
+	return core.OptimizeHier(ctx, b.Prog, h, core.Options{Par: mdl.WCETParams(), ValidationBudget: budget})
 }

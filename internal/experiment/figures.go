@@ -207,6 +207,62 @@ func (s *Suite) Figure8(w io.Writer) error {
 	return ew.err
 }
 
+// HierarchyFrontier prints the WCET/energy frontier of a sweep over the
+// hierarchy axis (Options.L2s): one row per swept L2 (single-level rows
+// first), with the average improvement of energy, ACET and WCET over the
+// matching use cases, the average L2 miss-rate reduction, and how many
+// cells shipped at least one prefetch-into-L2 instruction. Reading down
+// the rows shows what each additional L2 capacity buys — the
+// "hierarchy frontier" of EXPERIMENTS.md.
+func (s *Suite) HierarchyFrontier(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "Hierarchy frontier — average improvement per swept L2 (percent)")
+	fmt.Fprintf(ew, "%-24s %10s %10s %10s %10s %8s %8s\n",
+		"L2", "energy", "ACET", "WCET", "L2 miss", "pft@L2", "cells")
+	var keys []cache.Config
+	seen := map[cache.Config]bool{}
+	for _, c := range s.Cells {
+		if !seen[c.L2Cfg] {
+			seen[c.L2Cfg] = true
+			keys = append(keys, c.L2Cfg)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].CapacityBytes != keys[j].CapacityBytes {
+			return keys[i].CapacityBytes < keys[j].CapacityBytes
+		}
+		if keys[i].BlockBytes != keys[j].BlockBytes {
+			return keys[i].BlockBytes < keys[j].BlockBytes
+		}
+		return keys[i].Assoc < keys[j].Assoc
+	})
+	for _, k := range keys {
+		var e, a, t, m agg
+		pftCells := 0
+		for _, c := range s.Cells {
+			if c.L2Cfg != k {
+				continue
+			}
+			e.add(1 - ratio(c.EnergyOpt, c.EnergyOrig))
+			a.add(1 - ratio(c.ACETOpt, c.ACETOrig))
+			t.add(1 - ratio(float64(c.TauOpt), float64(c.TauOrig)))
+			if c.L2MissRateOrig > 0 {
+				m.add(1 - c.L2MissRateOpt/c.L2MissRateOrig)
+			}
+			if c.InsertedL2 > 0 {
+				pftCells++
+			}
+		}
+		name := "none (single-level)"
+		if k != (cache.Config{}) {
+			name = k.String()
+		}
+		fmt.Fprintf(ew, "%-24s %9.2f%% %9.2f%% %9.2f%% %9.2f%% %8d %8d\n",
+			name, 100*e.mean(), 100*a.mean(), 100*t.mean(), 100*m.mean(), pftCells, e.n)
+	}
+	return ew.err
+}
+
 // Table1 prints the program identification table.
 func Table1(w io.Writer) error {
 	ew := &errWriter{w: w}

@@ -49,7 +49,10 @@ func Fingerprint(p *Program) string {
 		}
 		i(len(b.Instrs))
 		for _, in := range b.Instrs {
-			u(uint64(in.Kind))
+			// The prefetch level rides in the high bits of the kind word so
+			// level-0 programs (every pre-hierarchy program) keep their
+			// exact historical digests.
+			u(uint64(in.Kind) | uint64(in.Level)<<8)
 			i(in.Target.Block)
 			i(in.Target.Index)
 		}

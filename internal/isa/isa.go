@@ -68,6 +68,12 @@ type InstrRef struct {
 // Instr is a single instruction. The zero value is a plain KindOp.
 type Instr struct {
 	Kind Kind
+	// Level is meaningful only for KindPrefetch: the cache level the fill
+	// targets. 0 and 1 both mean the L1 (the zero value keeps every
+	// pre-hierarchy program identical); 2 means the fill installs into the
+	// L2 only, leaving the L1 untouched — the prefetch-into-L2 candidate
+	// class of the hierarchy optimizer.
+	Level uint8
 	// Target is meaningful only for KindPrefetch: the instruction whose
 	// memory block this prefetch loads.
 	Target InstrRef

@@ -30,6 +30,34 @@ type AnalyzeRequest struct {
 	Runs int `json:"runs,omitempty"`
 	// ValidationBudget caps the optimizer's re-analyses (0 = default).
 	ValidationBudget int `json:"validation_budget,omitempty"`
+	// L2 backs the selected Table 2 configuration (the L1) with a second
+	// cache level; omitted = the paper's single-level model.
+	L2 *L2Request `json:"l2,omitempty"`
+}
+
+// L2Request is the optional second cache level of a request. The geometry
+// must form a valid hierarchy with the selected L1 (capacity at least the
+// L1's, block size a multiple of the L1's) or the request is rejected with
+// 400.
+type L2Request struct {
+	Assoc         int `json:"assoc"`
+	BlockBytes    int `json:"block_bytes"`
+	CapacityBytes int `json:"capacity_bytes"`
+	// Policy is the L2 replacement policy; empty selects LRU.
+	Policy string `json:"policy,omitempty"`
+}
+
+// ResultL2 carries the per-L2 measurements of a hierarchy analysis.
+type ResultL2 struct {
+	Assoc          int     `json:"assoc"`
+	BlockBytes     int     `json:"block_bytes"`
+	CapacityBytes  int     `json:"capacity_bytes"`
+	Policy         string  `json:"policy"`
+	InsertedL2     int     `json:"inserted_l2"`
+	WCETMissesOrig int64   `json:"wcet_misses_orig"`
+	WCETMissesOpt  int64   `json:"wcet_misses_opt"`
+	MissRateOrig   float64 `json:"missrate_orig"`
+	MissRateOpt    float64 `json:"missrate_opt"`
 }
 
 // Result is the measurement of one use case: the paper's per-cell metrics
@@ -53,7 +81,10 @@ type Result struct {
 	MissRateOpt   float64 `json:"missrate_opt"`
 	EnergyOrigPJ  float64 `json:"energy_orig_pj"`
 	EnergyOptPJ   float64 `json:"energy_opt_pj"`
-	CacheKey      string  `json:"cache_key"`
+	// L2 is present only for hierarchy requests; single-level responses
+	// keep their historical shape.
+	L2       *ResultL2 `json:"l2,omitempty"`
+	CacheKey string    `json:"cache_key"`
 }
 
 // httpError carries a status code from request resolution to the handler.
@@ -73,6 +104,8 @@ type useCase struct {
 	bench  malardalen.Benchmark
 	cfgIdx int
 	cfg    cache.Config
+	// l2 is the second cache level; the zero value means single-level.
+	l2     cache.Config
 	tech   energy.Tech
 	runs   int
 	budget int
@@ -113,10 +146,29 @@ func (s *Server) resolve(req AnalyzeRequest) (useCase, error) {
 	if err := cfg.Valid(); err != nil {
 		return useCase{}, errorf(400, "%v", err)
 	}
+	var l2 cache.Config
+	if req.L2 != nil {
+		l2pol, err := cliutil.Policy(req.L2.Policy)
+		if err != nil {
+			return useCase{}, errorf(400, "l2: %v", err)
+		}
+		l2 = cache.Config{
+			Assoc:         req.L2.Assoc,
+			BlockBytes:    req.L2.BlockBytes,
+			CapacityBytes: req.L2.CapacityBytes,
+			Policy:        l2pol,
+		}
+		// Degenerate hierarchy geometry (L2 smaller than L1, mismatched
+		// block sizes, an invalid L2 on its own) is a client error.
+		if err := (cache.Hierarchy{L1: cfg, L2: l2}).Valid(); err != nil {
+			return useCase{}, errorf(400, "%v", err)
+		}
+	}
 	return useCase{
 		bench:  b,
 		cfgIdx: ci,
 		cfg:    cfg,
+		l2:     l2,
 		tech:   tech,
 		runs:   runs,
 		budget: req.ValidationBudget,
@@ -133,15 +185,26 @@ const maxRuns = 64
 // leading version tag invalidates the scheme wholesale when the encoding
 // or the pipeline semantics change. The replacement policy is part of the
 // address: two requests differing only in policy must never share a result.
-func cacheKey(fp string, cfg cache.Config, tech energy.Tech, runs, budget int) string {
-	h := sha256.Sum256(fmt.Appendf(nil, "ucp-v1|%s|%d|%d|%d|%s|%d|%d|%s",
-		fp, cfg.Assoc, cfg.BlockBytes, cfg.CapacityBytes, tech, runs, budget, cfg.Policy))
+//
+// A configured L2 appends its full geometry and policy behind an "|l2|"
+// marker. The suffix is append-only and absent for single-level requests,
+// so every pre-hierarchy key — including entries in persistent stores — is
+// still addressed byte-identically, while an L1-only and an L1+L2 request
+// can never collide (their preimages differ in the marker).
+func cacheKey(fp string, cfg cache.Config, tech energy.Tech, runs, budget int, l2 cache.Config) string {
+	pre := fmt.Appendf(nil, "ucp-v1|%s|%d|%d|%d|%s|%d|%d|%s",
+		fp, cfg.Assoc, cfg.BlockBytes, cfg.CapacityBytes, tech, runs, budget, cfg.Policy)
+	if l2 != (cache.Config{}) {
+		pre = fmt.Appendf(pre, "|l2|%d|%d|%d|%s",
+			l2.Assoc, l2.BlockBytes, l2.CapacityBytes, l2.Policy)
+	}
+	h := sha256.Sum256(pre)
 	return hex.EncodeToString(h[:])
 }
 
 // keyFor computes the content address of a resolved use case.
 func (s *Server) keyFor(uc useCase) string {
-	return cacheKey(isa.Fingerprint(uc.bench.Prog), uc.cfg, uc.tech, uc.runs, uc.budget)
+	return cacheKey(isa.Fingerprint(uc.bench.Prog), uc.cfg, uc.tech, uc.runs, uc.budget, uc.l2)
 }
 
 // analyze returns the measurement for one resolved use case, serving it
@@ -178,6 +241,7 @@ func (s *Server) analyzeExplain(ctx context.Context, uc useCase, explain bool) (
 	start := time.Now()
 	cell, err := runCell(ctx, uc.bench, uc.cfgIdx, uc.tech, experiment.Options{
 		Policy:           uc.cfg.Policy,
+		L2:               uc.l2,
 		Runs:             uc.runs,
 		ValidationBudget: uc.budget,
 		SkipReduced:      true,
@@ -210,6 +274,19 @@ func (s *Server) analyzeExplain(ctx context.Context, uc useCase, explain bool) (
 		EnergyOrigPJ:  cell.EnergyOrig,
 		EnergyOptPJ:   cell.EnergyOpt,
 		CacheKey:      key,
+	}
+	if cell.HasL2() {
+		res.L2 = &ResultL2{
+			Assoc:          cell.L2Cfg.Assoc,
+			BlockBytes:     cell.L2Cfg.BlockBytes,
+			CapacityBytes:  cell.L2Cfg.CapacityBytes,
+			Policy:         cell.L2Cfg.Policy.String(),
+			InsertedL2:     cell.InsertedL2,
+			WCETMissesOrig: cell.L2MissWOrig,
+			WCETMissesOpt:  cell.L2MissWOpt,
+			MissRateOrig:   cell.L2MissRateOrig,
+			MissRateOpt:    cell.L2MissRateOpt,
+		}
 	}
 	if perr := s.cache.put(ctx, key, res); perr != nil {
 		// Persistence is an upgrade, not a gate: the result is correct and

@@ -30,6 +30,9 @@ type BatchRequest struct {
 	Policies         []string         `json:"policies,omitempty"`
 	Runs             int              `json:"runs,omitempty"`
 	ValidationBudget int              `json:"validation_budget,omitempty"`
+	// L2 is the default second cache level for cells that carry none of
+	// their own (and for the matrix form).
+	L2 *L2Request `json:"l2,omitempty"`
 }
 
 // batchCellLine is one NDJSON cell outcome (Result or Error, never both).
@@ -68,6 +71,7 @@ func (s *Server) resolveBatch(req BatchRequest) ([]useCase, error) {
 			Policies:         req.Policies,
 			Runs:             req.Runs,
 			ValidationBudget: req.ValidationBudget,
+			L2:               req.L2,
 		})
 	}
 	if len(req.Cells) > maxSweepCells {
@@ -80,6 +84,9 @@ func (s *Server) resolveBatch(req BatchRequest) ([]useCase, error) {
 		}
 		if c.ValidationBudget == 0 {
 			c.ValidationBudget = req.ValidationBudget
+		}
+		if c.L2 == nil {
+			c.L2 = req.L2
 		}
 		uc, err := s.resolve(c)
 		if err != nil {

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"ucp/internal/cache"
+	"ucp/internal/cliutil"
 	"ucp/internal/core"
 	"ucp/internal/interrupt"
 	"ucp/internal/obs"
@@ -156,9 +158,61 @@ type configInfo struct {
 	CapacityBytes int      `json:"capacity_bytes"`
 	Sets          int      `json:"sets"`
 	Policies      []string `json:"policies"`
+	// L2Valid reports whether the configuration forms a valid hierarchy
+	// with the L2 given via the l2_* query parameters; present only when
+	// such an L2 was supplied.
+	L2Valid *bool `json:"l2_valid,omitempty"`
+}
+
+// configsL2 parses the optional l2_assoc / l2_block_bytes /
+// l2_capacity_bytes (and l2_policy) query of /v1/configs. The parameters
+// describe a candidate L2; each listed configuration then reports whether
+// it can serve as the L1 underneath it.
+func configsL2(r *http.Request) (*cache.Config, error) {
+	q := r.URL.Query()
+	if q.Get("l2_assoc") == "" && q.Get("l2_block_bytes") == "" && q.Get("l2_capacity_bytes") == "" {
+		return nil, nil
+	}
+	num := func(name string) (int, error) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, errorf(400, "missing %s (an l2_* query needs the full geometry)", name)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return 0, errorf(400, "bad %s %q", name, v)
+		}
+		return n, nil
+	}
+	assoc, err := num("l2_assoc")
+	if err != nil {
+		return nil, err
+	}
+	bb, err := num("l2_block_bytes")
+	if err != nil {
+		return nil, err
+	}
+	capacity, err := num("l2_capacity_bytes")
+	if err != nil {
+		return nil, err
+	}
+	pol, err := cliutil.Policy(q.Get("l2_policy"))
+	if err != nil {
+		return nil, errorf(400, "l2_policy: %v", err)
+	}
+	cfg := cache.Config{Assoc: assoc, BlockBytes: bb, CapacityBytes: capacity, Policy: pol}
+	if err := cfg.Valid(); err != nil {
+		return nil, errorf(400, "l2: %v", err)
+	}
+	return &cfg, nil
 }
 
 func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	l2, err := configsL2(r)
+	if err != nil {
+		s.resolveErr(w, err)
+		return
+	}
 	cfgs := cache.Table2()
 	out := make([]configInfo, 0, len(cfgs))
 	for i, c := range cfgs {
@@ -170,14 +224,19 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 				policies = append(policies, p.String())
 			}
 		}
-		out = append(out, configInfo{
+		info := configInfo{
 			Label:         cache.ConfigID(i),
 			Assoc:         c.Assoc,
 			BlockBytes:    c.BlockBytes,
 			CapacityBytes: c.CapacityBytes,
 			Sets:          c.NumSets(),
 			Policies:      policies,
-		})
+		}
+		if l2 != nil {
+			ok := (cache.Hierarchy{L1: c, L2: *l2}).Valid() == nil
+			info.L2Valid = &ok
+		}
+		out = append(out, info)
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }

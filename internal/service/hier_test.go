@@ -1,0 +1,284 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ucp/internal/cache"
+	"ucp/internal/energy"
+	"ucp/internal/obs"
+)
+
+// hierAnalyze is smallAnalyze on a two-level hierarchy: the k1 L1 (256B)
+// backed by an 8KB L2.
+const hierAnalyze = `{"program":"fibcall","config":"k1","tech":"45nm","runs":1,"validation_budget":20,` +
+	`"l2":{"assoc":4,"block_bytes":32,"capacity_bytes":8192}}`
+
+// TestCacheKeyHierarchyNoCollision is the satellite regression test for the
+// content address: an L1-only key and an L1+L2 key over the same use case
+// must never collide, distinct L2 geometries must get distinct keys, and
+// the single-level key must be byte-identical to the pre-hierarchy scheme
+// (append-only suffix).
+func TestCacheKeyHierarchyNoCollision(t *testing.T) {
+	l1 := cache.Config{Assoc: 1, BlockBytes: 16, CapacityBytes: 256}
+	none := cache.Config{}
+	l2a := cache.Config{Assoc: 4, BlockBytes: 32, CapacityBytes: 8192}
+	l2b := cache.Config{Assoc: 4, BlockBytes: 32, CapacityBytes: 16384}
+	l2c := cache.Config{Assoc: 4, BlockBytes: 32, CapacityBytes: 8192, Policy: cache.FIFO}
+
+	keys := map[string]string{}
+	for name, l2 := range map[string]cache.Config{"none": none, "a": l2a, "b": l2b, "c": l2c} {
+		k := cacheKey("fp", l1, energy.Tech45, 3, 0, l2)
+		for prev, pk := range keys {
+			if pk == k {
+				t.Fatalf("key collision between L2 variants %q and %q", prev, name)
+			}
+		}
+		keys[name] = k
+	}
+	if keys["none"] != cacheKey("fp", l1, energy.Tech45, 3, 0, cache.Config{}) {
+		t.Fatal("single-level key not deterministic")
+	}
+}
+
+func TestAnalyzeWithL2(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", hierAnalyze)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out analyzeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.L2 == nil {
+		t.Fatalf("hierarchy response missing l2 block: %s", body)
+	}
+	if out.L2.CapacityBytes != 8192 || out.L2.Policy != "lru" {
+		t.Fatalf("l2 block wrong: %+v", out.L2)
+	}
+	if out.WCETOpt > out.WCETOrig {
+		t.Fatalf("WCET regressed: %d -> %d", out.WCETOrig, out.WCETOpt)
+	}
+
+	// The same use case without the L2 must answer from a *different*
+	// cache entry with no l2 block — the two requests must not share a key.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/analyze", smallAnalyze)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp2.StatusCode, body2)
+	}
+	var out2 analyzeResponse
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.L2 != nil {
+		t.Fatalf("single-level response grew an l2 block: %s", body2)
+	}
+	if bytes.Contains(body2, []byte(`"l2"`)) {
+		t.Fatalf("single-level response body mentions l2: %s", body2)
+	}
+	if out2.CacheKey == out.CacheKey {
+		t.Fatal("L1-only and L1+L2 requests share a cache key")
+	}
+}
+
+// TestAnalyzeDegenerateL2 is the satellite-3 service check: inconsistent
+// hierarchy geometry is a 400, never a 500 or a silent single-level run.
+func TestAnalyzeDegenerateL2(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+	cases := []string{
+		// L2 smaller than the k1 L1 (256B).
+		`{"program":"fibcall","config":"k1","tech":"45nm","l2":{"assoc":1,"block_bytes":16,"capacity_bytes":128}}`,
+		// L2 block size not a multiple of the L1's (k1 blocks are 16B).
+		`{"program":"fibcall","config":"k1","tech":"45nm","l2":{"assoc":1,"block_bytes":24,"capacity_bytes":8192}}`,
+		// L2 invalid on its own.
+		`{"program":"fibcall","config":"k1","tech":"45nm","l2":{"assoc":3,"block_bytes":16,"capacity_bytes":8192}}`,
+		// Unknown L2 policy.
+		`{"program":"fibcall","config":"k1","tech":"45nm","l2":{"assoc":4,"block_bytes":32,"capacity_bytes":8192,"policy":"rand"}}`,
+	}
+	for _, body := range cases {
+		resp, b := postJSON(t, ts.URL+"/v1/analyze", body)
+		if resp.StatusCode != 400 {
+			t.Errorf("analyze %s: status = %d (%s), want 400", body, resp.StatusCode, b)
+		}
+	}
+	// The same geometry guard holds on the sweep and batch surfaces.
+	resp, b := postJSON(t, ts.URL+"/v1/sweep",
+		`{"programs":["fibcall"],"configs":["k1"],"l2":{"assoc":1,"block_bytes":16,"capacity_bytes":64}}`)
+	if resp.StatusCode != 400 {
+		t.Errorf("sweep: status = %d (%s), want 400", resp.StatusCode, b)
+	}
+	resp, b = postJSON(t, ts.URL+"/v1/batch",
+		`{"programs":["fibcall"],"configs":["k1"],"l2":{"assoc":1,"block_bytes":16,"capacity_bytes":64}}`)
+	if resp.StatusCode != 400 {
+		t.Errorf("batch: status = %d (%s), want 400", resp.StatusCode, b)
+	}
+}
+
+func TestSweepWithL2(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/sweep",
+		`{"programs":["fibcall","bs"],"configs":["k1"],"techs":["45nm"],"runs":1,"validation_budget":20,`+
+			`"l2":{"assoc":4,"block_bytes":32,"capacity_bytes":8192}}`)
+	if resp.StatusCode != 202 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var acc struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, body = getBody(t, ts.URL+"/v1/jobs/"+acc.JobID)
+		if resp.StatusCode != 200 {
+			t.Fatalf("job status = %d: %s", resp.StatusCode, body)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == string(jobDone) {
+			if len(st.Results) != 2 {
+				t.Fatalf("results = %d, want 2", len(st.Results))
+			}
+			for _, r := range st.Results {
+				if r.L2 == nil || r.L2.CapacityBytes != 8192 {
+					t.Fatalf("sweep result missing l2 block: %+v", r)
+				}
+			}
+			return
+		}
+		if st.State == string(jobFailed) {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestBatchWithL2(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/batch",
+		`{"programs":["fibcall"],"configs":["k1","k13"],"techs":["45nm"],"runs":1,"validation_budget":20,`+
+			`"l2":{"assoc":4,"block_bytes":32,"capacity_bytes":8192}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	cells := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Done   bool    `json:"done"`
+			Result *Result `json:"result"`
+			Error  string  `json:"error"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %s: %v", line, err)
+		}
+		if probe.Done {
+			continue
+		}
+		cells++
+		if probe.Error != "" {
+			t.Fatalf("cell failed: %s", probe.Error)
+		}
+		if probe.Result == nil || probe.Result.L2 == nil {
+			t.Fatalf("batch cell missing l2 block: %s", line)
+		}
+	}
+	if cells != 2 {
+		t.Fatalf("cells = %d, want 2", cells)
+	}
+}
+
+func TestConfigsL2Query(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+	resp, body := getBody(t, ts.URL+"/v1/configs?l2_assoc=4&l2_block_bytes=32&l2_capacity_bytes=2048")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var cfgs []configInfo
+	if err := json.Unmarshal(body, &cfgs); err != nil {
+		t.Fatal(err)
+	}
+	sawValid, sawInvalid := false, false
+	for _, c := range cfgs {
+		if c.L2Valid == nil {
+			t.Fatalf("config %s missing l2_valid", c.Label)
+		}
+		if *c.L2Valid {
+			sawValid = true
+			if c.CapacityBytes > 2048 {
+				t.Errorf("config %s (%dB) cannot sit under a 2KB L2", c.Label, c.CapacityBytes)
+			}
+		} else {
+			sawInvalid = true
+		}
+	}
+	if !sawValid || !sawInvalid {
+		t.Fatalf("want both valid and invalid pairings against a 2KB L2 (valid=%t invalid=%t)", sawValid, sawInvalid)
+	}
+
+	// Degenerate l2_* queries are 400; no query keeps the plain shape.
+	resp, _ = getBody(t, ts.URL+"/v1/configs?l2_assoc=4")
+	if resp.StatusCode != 400 {
+		t.Fatalf("partial l2 query: status = %d, want 400", resp.StatusCode)
+	}
+	resp, body = getBody(t, ts.URL+"/v1/configs")
+	if resp.StatusCode != 200 || bytes.Contains(body, []byte("l2_valid")) {
+		t.Fatalf("plain configs changed shape: %d %s", resp.StatusCode, body[:100])
+	}
+}
+
+// TestLevelCounterFamilies checks that the per-level tally counters the
+// experiment layer maintains surface on /metrics with both level children
+// after a hierarchy analysis, under lint-clean metadata.
+func TestLevelCounterFamilies(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+	if resp, body := postJSON(t, ts.URL+"/v1/analyze", hierAnalyze); resp.StatusCode != 200 {
+		t.Fatalf("analyze: status %d: %s", resp.StatusCode, body)
+	}
+	_, mbody := getBody(t, ts.URL+"/metrics")
+	m := string(mbody)
+	if err := obs.Lint(strings.NewReader(m)); err != nil {
+		t.Errorf("exposition fails lint: %v", err)
+	}
+	for _, want := range []string{
+		"# TYPE ucp_cache_level_hits_total counter",
+		"# TYPE ucp_cache_level_misses_total counter",
+		`ucp_cache_level_hits_total{level="1"}`,
+		`ucp_cache_level_hits_total{level="2"}`,
+		`ucp_cache_level_misses_total{level="1"}`,
+		`ucp_cache_level_misses_total{level="2"}`,
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestAnalyzeTraceCarriesLevelTallies checks the satellite-6 surface: a
+// ?trace=1 hierarchy analysis exposes the per-level hit/miss tallies as
+// span attributes of the pipeline's cell span.
+func TestAnalyzeTraceCarriesLevelTallies(t *testing.T) {
+	ts, _ := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze?trace=1", hierAnalyze)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	for _, attr := range []string{`"l1_hits"`, `"l1_misses"`, `"l2_hits"`, `"l2_misses"`} {
+		if !bytes.Contains(body, []byte(attr)) {
+			t.Errorf("trace missing %s attribute", attr)
+		}
+	}
+}

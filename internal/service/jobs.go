@@ -24,6 +24,9 @@ type SweepRequest struct {
 	Policies         []string `json:"policies,omitempty"`
 	Runs             int      `json:"runs,omitempty"`
 	ValidationBudget int      `json:"validation_budget,omitempty"`
+	// L2 backs every swept configuration with a second cache level;
+	// omitted keeps the single-level matrix.
+	L2 *L2Request `json:"l2,omitempty"`
 }
 
 type jobState string
@@ -348,6 +351,7 @@ func (s *Server) resolveSweep(req SweepRequest) ([]useCase, error) {
 						Policy:           pol,
 						Runs:             req.Runs,
 						ValidationBudget: req.ValidationBudget,
+						L2:               req.L2,
 					})
 					if err != nil {
 						return nil, err

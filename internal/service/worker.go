@@ -68,6 +68,7 @@ func (s *Server) handleWorkerCell(w http.ResponseWriter, r *http.Request) {
 		var aerr error
 		cell, aerr = experiment.RunCell(ctx, uc.bench, uc.cfgIdx, uc.tech, experiment.Options{
 			Policy:           uc.cfg.Policy,
+			L2:               uc.l2,
 			Runs:             uc.runs,
 			ValidationBudget: uc.budget,
 			SkipReduced:      req.SkipReduced,

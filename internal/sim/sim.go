@@ -47,6 +47,10 @@ type Options struct {
 	// in-flight fill counts as a hit). The cross-layer soundness tests use
 	// it to check classifications against concrete behavior per reference.
 	OnFetch func(ref isa.InstrRef, hit bool)
+	// OnFetch2, when non-nil, observes every demand fetch that misses the
+	// L1 and probes the L2, with whether the L2 hit (a wait on an in-flight
+	// L2 fill counts as a hit). Never called without a configured L2.
+	OnFetch2 func(ref isa.InstrRef, hit bool)
 }
 
 // Stats aggregates the events of all runs.
@@ -66,8 +70,13 @@ type Stats struct {
 	HWIssued          int64 // fills enqueued by the hardware prefetcher
 	HWDropped         int64 // hardware requests dropped on a full queue
 
-	DRAMReads  int64 // level-two block transfers
-	CacheFills int64 // blocks written into the cache
+	DRAMReads  int64 // memory block transfers
+	CacheFills int64 // blocks written into the L1
+
+	L2Hits   int64 // L1 misses served by the L2
+	L2Misses int64 // L1 misses that also missed the L2 (went to memory)
+	L2Reads  int64 // L2 lookups (demand probes plus prefetch probes)
+	L2Fills  int64 // blocks written into the L2
 }
 
 // ACETCycles is the average memory time of one run.
@@ -82,6 +91,16 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(demand)
 }
 
+// L2MissRate is L2 misses per demand L2 probe (an L1 miss that went to the
+// L2). Zero when no L2 is simulated.
+func (s Stats) L2MissRate() float64 {
+	demand := s.L2Hits + s.L2Misses
+	if demand == 0 {
+		return 0
+	}
+	return float64(s.L2Misses) / float64(demand)
+}
+
 // FetchesPerRun is the average dynamic instruction count.
 func (s Stats) FetchesPerRun() float64 { return float64(s.Fetches) / float64(s.Runs) }
 
@@ -93,6 +112,8 @@ func (s Stats) Account() energy.Account {
 		CacheReads: s.Fetches,
 		CacheFills: s.CacheFills,
 		DRAMReads:  s.DRAMReads,
+		L2Reads:    s.L2Reads,
+		L2Fills:    s.L2Fills,
 		Cycles:     s.Cycles,
 	}
 }
@@ -100,14 +121,22 @@ func (s Stats) Account() energy.Account {
 type fill struct {
 	block uint64
 	ready int64
+	// l2 marks a fill that installs into the L2 only (a Level-2 software
+	// prefetch); block is then an L2 block number.
+	l2 bool
 }
 
 type machine struct {
-	p     *isa.Program
-	lay   *isa.Layout
-	cfg   cache.Config
-	o     Options
-	st    *cache.State
+	p   *isa.Program
+	lay *isa.Layout
+	cfg cache.Config
+	o   Options
+	st  *cache.State
+	// l2 is the concrete L2 state, nil when no L2 is configured — every
+	// L2 branch below is gated on it, so single-level runs execute the
+	// exact pre-hierarchy paths.
+	l2    *cache.State
+	h     cache.Hierarchy
 	rng   *rand.Rand
 	t     int64
 	fills []fill
@@ -117,8 +146,17 @@ type machine struct {
 	stats    *Stats
 }
 
-// Run simulates the program and returns the aggregated statistics.
+// Run simulates the program on a single-level cache and returns the
+// aggregated statistics.
 func Run(p *isa.Program, cfg cache.Config, o Options) Stats {
+	return RunHier(p, cache.Hier1(cfg), o)
+}
+
+// RunHier simulates the program on the cache hierarchy h. With no L2
+// configured it is exactly Run on h.L1. The Locked mode stays single-level:
+// the locking baseline of the paper locks the L1 and bypasses allocation
+// entirely, so a configured L2 is rejected there.
+func RunHier(p *isa.Program, h cache.Hierarchy, o Options) Stats {
 	if o.Runs <= 0 {
 		o.Runs = 1
 	}
@@ -128,18 +166,33 @@ func Run(p *isa.Program, cfg cache.Config, o Options) Stats {
 	if err := o.Par.Valid(); err != nil {
 		panic(err)
 	}
+	if err := h.Valid(); err != nil {
+		panic(err)
+	}
+	if h.HasL2() {
+		if o.Par.L2HitCycles < 1 {
+			panic("sim: hierarchy simulation needs Par.L2HitCycles >= 1")
+		}
+		if o.Locked != nil {
+			panic("sim: locked mode is single-level; configure no L2")
+		}
+	}
 	stats := Stats{Runs: o.Runs}
 	lay := isa.NewLayout(p)
 	for r := 0; r < o.Runs; r++ {
 		m := &machine{
 			p:        p,
 			lay:      lay,
-			cfg:      cfg,
+			cfg:      h.L1,
+			h:        h,
 			o:        o,
-			st:       cache.NewState(cfg),
+			st:       cache.NewState(h.L1),
 			rng:      rand.New(rand.NewSource(o.Seed + int64(r))),
 			firstUse: map[uint64]bool{},
 			stats:    &stats,
+		}
+		if h.HasL2() {
+			m.l2 = cache.NewState(h.L2)
 		}
 		if o.HW != nil {
 			o.HW.Reset()
@@ -229,7 +282,7 @@ func (m *machine) execBlock(b *isa.Block, loopIters map[int]int) {
 		ref := isa.InstrRef{Block: b.ID, Index: i}
 		pc := m.lay.Addr(ref)
 		blk := pc / uint64(m.cfg.BlockBytes)
-		hit := m.fetch(blk)
+		hit := m.fetch(ref, pc, blk)
 		if m.o.OnFetch != nil {
 			m.o.OnFetch(ref, hit)
 		}
@@ -237,7 +290,19 @@ func (m *machine) execBlock(b *isa.Block, loopIters map[int]int) {
 		m.stats.Fetches++
 		if in.Kind == isa.KindPrefetch {
 			m.stats.PrefetchExecuted++
-			m.issueSoftware(m.lay.MemBlock(in.Target, m.cfg.BlockBytes))
+			switch {
+			case in.Level == 2 && m.l2 != nil:
+				m.issueL2(m.lay.MemBlock(in.Target, m.h.L2.BlockBytes))
+			case in.Level == 2:
+				// A Level-2 prefetch on a machine with no L2 has nothing to
+				// fill; its fetch already cost a cycle.
+			default:
+				var tgt2 uint64
+				if m.l2 != nil {
+					tgt2 = m.lay.MemBlock(in.Target, m.h.L2.BlockBytes)
+				}
+				m.issueSoftware(m.lay.MemBlock(in.Target, m.cfg.BlockBytes), tgt2)
+			}
 		}
 		if m.o.HW != nil {
 			m.triggerHW(b, i, pc, blk, hit, loopIters)
@@ -247,7 +312,7 @@ func (m *machine) execBlock(b *isa.Block, loopIters map[int]int) {
 
 // fetch performs one demand access at the current time and advances the
 // clock.
-func (m *machine) fetch(blk uint64) bool {
+func (m *machine) fetch(ref isa.InstrRef, pc, blk uint64) bool {
 	m.applyFills()
 	if m.o.Locked != nil {
 		// Statically locked cache: no state changes ever.
@@ -270,9 +335,9 @@ func (m *machine) fetch(blk uint64) bool {
 		m.t += m.o.Par.HitCycles
 		return true
 	}
-	// In-flight fill?
+	// In-flight L1 fill?
 	for _, f := range m.fills {
-		if f.block != blk {
+		if f.l2 || f.block != blk {
 			continue
 		}
 		// Stall until the fill lands, then hit.
@@ -294,7 +359,11 @@ func (m *machine) fetch(blk uint64) bool {
 		m.t += m.o.Par.HitCycles
 		return true
 	}
-	// Full miss.
+	// L1 miss: probe the L2 when one is configured.
+	if m.l2 != nil {
+		return m.fetchL2(ref, pc, blk)
+	}
+	// Full miss straight to memory.
 	m.st.Access(blk)
 	m.firstUse[blk] = true
 	m.stats.Misses++
@@ -304,8 +373,57 @@ func (m *machine) fetch(blk uint64) bool {
 	return false
 }
 
-// issueSoftware enqueues a software prefetch fill.
-func (m *machine) issueSoftware(blk uint64) {
+// fetchL2 serves a demand L1 miss from the L2, waiting out an in-flight
+// L2-targeted prefetch fill of the block if there is one, and going to
+// memory (filling both levels) on an L2 miss.
+func (m *machine) fetchL2(ref isa.InstrRef, pc, blk uint64) bool {
+	blk2 := pc / uint64(m.h.L2.BlockBytes)
+	m.stats.Misses++
+	m.stats.L2Reads++
+	for _, f := range m.fills {
+		if !f.l2 || f.block != blk2 {
+			continue
+		}
+		if f.ready > m.t {
+			m.stats.StallCycles += f.ready - m.t
+			m.t = f.ready
+		}
+		m.stats.Stalls++
+		m.applyFills()
+		break
+	}
+	if m.l2.Contains(blk2) {
+		m.l2.Access(blk2)
+		m.stats.L2Hits++
+		if m.o.OnFetch2 != nil {
+			m.o.OnFetch2(ref, true)
+		}
+		m.st.Access(blk)
+		m.firstUse[blk] = true
+		m.stats.CacheFills++
+		m.t += m.o.Par.HitCycles + m.o.Par.L2HitCycles
+		return false
+	}
+	// L2 miss: the block comes from memory and fills both levels.
+	m.stats.L2Misses++
+	m.stats.DRAMReads++
+	if m.o.OnFetch2 != nil {
+		m.o.OnFetch2(ref, false)
+	}
+	m.l2.Access(blk2)
+	m.stats.L2Fills++
+	m.st.Access(blk)
+	m.firstUse[blk] = true
+	m.stats.CacheFills++
+	m.t += m.o.Par.HitCycles + m.o.Par.L2HitCycles + m.o.Par.MissPenalty
+	return false
+}
+
+// issueSoftware enqueues a software prefetch fill into the L1. With an L2
+// configured, the fill is served from the L2 when the target's L2 block is
+// resident (arriving after only the L2 hit latency, touching no memory);
+// otherwise it comes from memory and installs into both levels.
+func (m *machine) issueSoftware(blk, blk2 uint64) {
 	if m.o.Locked != nil {
 		return // locked cache cannot be refilled
 	}
@@ -314,23 +432,62 @@ func (m *machine) issueSoftware(blk uint64) {
 		return
 	}
 	if len(m.fills) >= m.o.MaxOutstanding {
-		// A software prefetch waits for a queue slot rather than being
-		// dropped; the earliest fill bounds the wait.
-		earliest := m.fills[0].ready
-		for _, f := range m.fills {
-			if f.ready < earliest {
-				earliest = f.ready
-			}
-		}
-		if earliest > m.t {
-			m.stats.StallCycles += earliest - m.t
-			m.t = earliest
-		}
-		m.applyFills()
+		m.waitForSlot()
 	}
-	m.fills = append(m.fills, fill{block: blk, ready: m.t + m.o.Par.Lambda})
+	ready := m.t + m.o.Par.Lambda
+	if m.l2 != nil {
+		m.stats.L2Reads++
+		if m.l2.Contains(blk2) {
+			m.l2.Access(blk2)
+			ready = m.t + m.o.Par.L2HitCycles
+		} else {
+			m.stats.DRAMReads++
+			// The block passes through the L2 on its way into the L1.
+			m.l2.Access(blk2)
+			m.stats.L2Fills++
+		}
+	} else {
+		m.stats.DRAMReads++
+	}
+	m.fills = append(m.fills, fill{block: blk, ready: ready})
+	m.stats.PrefetchIssued++
+}
+
+// issueL2 enqueues a Level-2 software prefetch: the fill installs into the
+// L2 only, leaving the L1 (and its fill queue slots' semantics) unchanged.
+func (m *machine) issueL2(blk uint64) {
+	m.stats.L2Reads++
+	if m.l2.Contains(blk) {
+		m.l2.Access(blk)
+		m.stats.PrefetchRedundant++
+		return
+	}
+	if m.pendingL2(blk) {
+		m.stats.PrefetchRedundant++
+		return
+	}
+	if len(m.fills) >= m.o.MaxOutstanding {
+		m.waitForSlot()
+	}
+	m.fills = append(m.fills, fill{block: blk, ready: m.t + m.o.Par.Lambda, l2: true})
 	m.stats.PrefetchIssued++
 	m.stats.DRAMReads++
+}
+
+// waitForSlot blocks until the earliest outstanding fill retires: a software
+// prefetch waits for a queue slot rather than being dropped.
+func (m *machine) waitForSlot() {
+	earliest := m.fills[0].ready
+	for _, f := range m.fills {
+		if f.ready < earliest {
+			earliest = f.ready
+		}
+	}
+	if earliest > m.t {
+		m.stats.StallCycles += earliest - m.t
+		m.t = earliest
+	}
+	m.applyFills()
 }
 
 // issueHW enqueues a hardware prefetch fill, dropping on a full queue.
@@ -349,26 +506,40 @@ func (m *machine) issueHW(blk uint64) {
 
 func (m *machine) pending(blk uint64) bool {
 	for _, f := range m.fills {
-		if f.block == blk {
+		if !f.l2 && f.block == blk {
 			return true
 		}
 	}
 	return false
 }
 
-// applyFills retires every fill whose latency has elapsed.
+func (m *machine) pendingL2(blk uint64) bool {
+	for _, f := range m.fills {
+		if f.l2 && f.block == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// applyFills retires every fill whose latency has elapsed, into the level
+// it targets.
 func (m *machine) applyFills() {
 	if len(m.fills) == 0 {
 		return
 	}
 	rest := m.fills[:0]
 	for _, f := range m.fills {
-		if f.ready <= m.t {
+		switch {
+		case f.ready > m.t:
+			rest = append(rest, f)
+		case f.l2:
+			m.l2.Insert(f.block)
+			m.stats.L2Fills++
+		default:
 			m.st.Insert(f.block)
 			m.firstUse[f.block] = true
 			m.stats.CacheFills++
-		} else {
-			rest = append(rest, f)
 		}
 	}
 	m.fills = rest

@@ -1,0 +1,196 @@
+package wcet
+
+import (
+	"context"
+	"fmt"
+
+	"ucp/internal/absint"
+	"ucp/internal/cache"
+	"ucp/internal/isa"
+	"ucp/internal/obs"
+	"ucp/internal/vivu"
+)
+
+// This file extends the WCET analysis to an L1+L2 hierarchy. The L1
+// abstract interpretation runs exactly as before (with its incremental
+// path); the L2 runs the CAC-gated fixpoint of absint.AnalyzeL2; and the
+// assembly prices every reference with three outcomes instead of two:
+//
+//	L1 hit              HitCycles
+//	L1 miss, L2 hit     HitCycles + L2HitCycles
+//	L2 miss             HitCycles + L2HitCycles + MissPenalty
+//
+// First-miss classifications at either level move their charge into the
+// once-per-region-entry extra vector, as in the single-level assembly. With
+// no L2 configured every entry point delegates to the single-level analysis
+// unchanged, so results stay bit-identical to the pre-hierarchy code.
+
+// AnalyzeHier expands p and analyzes it against the hierarchy h. With no L2
+// configured it is exactly Analyze on h.L1.
+func AnalyzeHier(ctx context.Context, p *isa.Program, h cache.Hierarchy, par Params) (*Result, error) {
+	x, err := vivu.ExpandCtx(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeXHier(ctx, x, h, par)
+}
+
+// AnalyzeXHier analyzes a pre-expanded program against the hierarchy h.
+func AnalyzeXHier(ctx context.Context, x *vivu.Prog, h cache.Hierarchy, par Params) (*Result, error) {
+	return AnalyzeXHierFrom(ctx, x, h, par, nil)
+}
+
+// AnalyzeXHierFrom re-analyzes a mutated program against hierarchy h,
+// seeding the L1 abstract interpretation from prev when compatible. The L2
+// fixpoint always runs in full: its transfer rows depend on the L1
+// classifications, which any mutation can shift globally, and the CAC-gated
+// pass is cheap on the expanded graphs the optimizer works with. With no L2
+// configured the call is exactly AnalyzeXFrom on h.L1.
+func AnalyzeXHierFrom(ctx context.Context, x *vivu.Prog, h cache.Hierarchy, par Params, prev *Result) (*Result, error) {
+	if !h.HasL2() {
+		return AnalyzeXFrom(ctx, x, h.L1, par, prev)
+	}
+	if err := par.Valid(); err != nil {
+		return nil, err
+	}
+	if par.L2HitCycles < 1 {
+		return nil, fmt.Errorf("wcet: hierarchy analysis needs L2HitCycles >= 1, have %d", par.L2HitCycles)
+	}
+	if err := h.Valid(); err != nil {
+		return nil, err
+	}
+	incremental := prev != nil && prev.X == x && prev.Hier == h && prev.Par == par
+	if incremental {
+		statIncremental.Inc()
+	} else {
+		statFull.Inc()
+		prev = nil
+	}
+	ctx, span := obs.Start(ctx, "wcet.analyze")
+	span.Attr("mode", map[bool]string{true: "hier-incremental", false: "hier-full"}[incremental])
+	defer span.End()
+	lay := isa.NewLayout(x.Prog)
+	var ai *absint.Result
+	var err error
+	if incremental {
+		ai, err = absint.AnalyzeFrom(ctx, x, lay, h.L1, int(par.Lambda), prev.AI)
+	} else {
+		ai, err = absint.Analyze(ctx, x, lay, h.L1, int(par.Lambda))
+	}
+	if err != nil {
+		return nil, err
+	}
+	ai2, err := absint.AnalyzeL2(ctx, x, lay, h, int(par.Lambda), ai)
+	if err != nil {
+		return nil, err
+	}
+	return assembleHier(ctx, x, h, par, lay, ai, ai2, prev)
+}
+
+// assembleHier turns the two per-level abstract interpretations into a WCET
+// Result with three-outcome pricing. Rows are always recomputed (they are a
+// linear pass over the instructions); the structural solve is skipped when
+// the cost and extra vectors match prev's, in which case the counts and
+// totals are provably identical.
+func assembleHier(ctx context.Context, x *vivu.Prog, h cache.Hierarchy, par Params, lay *isa.Layout, ai, ai2 *absint.Result, prev *Result) (*Result, error) {
+	n := len(x.Blocks)
+	res := &Result{
+		Prog: x.Prog, X: x, Lay: lay, AI: ai, AI2: ai2,
+		Cfg: h.L1, Hier: h, Par: par,
+		Tw:   make([][]int64, n),
+		Cost: make([]int64, n),
+	}
+	extra := make([]int64, n)
+	costSame := prev != nil
+	for _, xb := range x.Blocks {
+		id := xb.ID
+		instrs := x.Prog.Blocks[xb.Orig].Instrs
+		row := make([]int64, len(instrs))
+		total := int64(0)
+		for i := range instrs {
+			t := par.HitCycles
+			switch ai.Class[id][i] {
+			case absint.AlwaysHit:
+				// Served by the L1; the L2 never sees the fetch.
+			case absint.FirstMiss:
+				// Reaches the L2 once per region entry; the L2 verdict
+				// decides whether that one access also goes to memory.
+				extra[id] += par.L2HitCycles
+				if ai2.Class[id][i] != absint.AlwaysHit {
+					extra[id] += par.MissPenalty
+				}
+			default:
+				// May reach the L2 on every execution.
+				t += par.L2HitCycles
+				switch ai2.Class[id][i] {
+				case absint.AlwaysHit:
+				case absint.FirstMiss:
+					extra[id] += par.MissPenalty
+				default:
+					t += par.MissPenalty
+				}
+			}
+			row[i] = t
+			total += t
+		}
+		res.Tw[id] = row
+		res.Cost[id] = total
+		if costSame && (total != prev.Cost[id] || extra[id] != prev.Extra[id]) {
+			costSame = false
+		}
+	}
+	res.Extra = extra
+
+	if costSame {
+		res.Nw = prev.Nw
+		res.TauW = prev.TauW
+		res.Misses = prev.Misses
+		res.L2Misses = prev.L2Misses
+		res.Fetches = prev.Fetches
+		if _, sp := obs.Start(ctx, "wcet.solve"); sp != nil {
+			sp.Attr("skipped", true)
+			sp.Attr("tau_w", res.TauW)
+			sp.End()
+		}
+		return res, nil
+	}
+
+	_, sp := obs.Start(ctx, "wcet.solve")
+	nw, tau, err := solveStructuralExtra(x, res.Cost, extra)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	sp.Attr("tau_w", tau)
+	sp.End()
+	res.Nw = nw
+	res.TauW = tau
+	for _, xb := range x.Blocks {
+		cnt := nw[xb.ID]
+		if cnt == 0 {
+			continue
+		}
+		res.Fetches += cnt * int64(len(x.Prog.Blocks[xb.Orig].Instrs))
+		for i := range x.Prog.Blocks[xb.Orig].Instrs {
+			c1 := ai.Class[xb.ID][i]
+			switch c1 {
+			case absint.AlwaysHit:
+				continue
+			case absint.FirstMiss:
+				res.Misses++ // at most one L1 miss regardless of n_w
+			default:
+				res.Misses += cnt
+			}
+			// The fetch reaches the L2 (always, or once per region for a
+			// first miss); count how often it also goes to memory.
+			switch c2 := ai2.Class[xb.ID][i]; {
+			case c2 == absint.AlwaysHit:
+			case c1 == absint.FirstMiss || c2 == absint.FirstMiss:
+				res.L2Misses++
+			default:
+				res.L2Misses += cnt
+			}
+		}
+	}
+	return res, nil
+}

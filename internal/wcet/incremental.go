@@ -71,6 +71,7 @@ func assemble(ctx context.Context, x *vivu.Prog, cfg cache.Config, par Params, l
 	n := len(x.Blocks)
 	res := &Result{
 		Prog: x.Prog, X: x, Lay: lay, AI: ai, Cfg: cfg, Par: par,
+		Hier: cache.Hier1(cfg),
 		Tw:   make([][]int64, n),
 		Cost: make([]int64, n),
 	}

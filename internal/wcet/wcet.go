@@ -27,12 +27,21 @@ type Params struct {
 	// Lambda is the prefetch latency Λ (Definition 4): the time between a
 	// prefetch issuing and the block being resident.
 	Lambda int64
+	// L2HitCycles is the additional time of a fetch that misses the L1 but
+	// hits the L2, beyond HitCycles. Zero means no L2 is modeled: a fetch
+	// either hits (HitCycles) or goes to memory (HitCycles+MissPenalty),
+	// exactly the pre-hierarchy timing. Hierarchy analyses require it ≥ 1
+	// and < MissPenalty (an L2 hit must beat a memory access).
+	L2HitCycles int64
 }
 
 // Valid reports whether the parameters are usable.
 func (p Params) Valid() error {
 	if p.HitCycles < 1 || p.MissPenalty < 1 || p.Lambda < 1 {
 		return fmt.Errorf("wcet: non-positive timing parameters %+v", p)
+	}
+	if p.L2HitCycles < 0 || p.L2HitCycles >= p.MissPenalty {
+		return fmt.Errorf("wcet: L2 hit cycles %d outside [0, miss penalty %d)", p.L2HitCycles, p.MissPenalty)
 	}
 	return nil
 }
@@ -50,6 +59,12 @@ type Result struct {
 	Cfg  cache.Config
 	Par  Params
 
+	// Hier is the cache hierarchy the result was computed against; for a
+	// single-level analysis it is Hier1(Cfg). AI2 is the L2 abstract
+	// interpretation, nil when no L2 is configured.
+	Hier cache.Hierarchy
+	AI2  *absint.Result
+
 	// Tw[xb][i] is t_w of the i-th reference of expanded block xb: its
 	// fetch time in the WCET scenario (Section 3.3).
 	Tw [][]int64
@@ -64,9 +79,13 @@ type Result struct {
 	Nw []int64
 	// TauW is the memory contribution to the WCET, Σ Cost·Nw (Equation 3).
 	TauW int64
-	// Misses is the number of cache misses in the WCET scenario (references
-	// not classified always-hit, weighted by Nw).
+	// Misses is the number of L1 cache misses in the WCET scenario
+	// (references not classified always-hit, weighted by Nw).
 	Misses int64
+	// L2Misses is the number of fetches that also miss the L2 in the WCET
+	// scenario (pay the full MissPenalty). Zero for single-level analyses,
+	// where every L1 miss goes straight to memory.
+	L2Misses int64
 	// Fetches is the number of instruction fetches in the WCET scenario.
 	Fetches int64
 }

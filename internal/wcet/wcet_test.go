@@ -256,7 +256,7 @@ func TestParamsValidation(t *testing.T) {
 			t.Errorf("params %+v should be invalid", par)
 		}
 	}
-	if (Params{1, 9, 10}).MissCycles() != 10 {
+	if (Params{HitCycles: 1, MissPenalty: 9, Lambda: 10}).MissCycles() != 10 {
 		t.Error("MissCycles arithmetic")
 	}
 }

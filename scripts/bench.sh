@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Runs the analysis micro-benchmarks with -benchmem and records name,
-# ns/op, and allocs/op in BENCH_PR5.json so the performance trajectory is
+# ns/op, and allocs/op in BENCH_PR8.json so the performance trajectory is
 # tracked in-repo. BenchmarkFigure3Policy runs the Figure 3 sub-sweep once
 # per replacement policy (lru, fifo, plru), so the JSON carries one row per
-# policy. Override the measurement length for a CI smoke run:
+# policy; BenchmarkHierarchyFrontier runs the same sub-sweep with an L2
+# behind every L1. Override the measurement length for a CI smoke run:
 #
 #   BENCHTIME=1x ./scripts/bench.sh
 #
@@ -15,8 +16,8 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
-PATTERN="${PATTERN:-^(BenchmarkAnalyzeXFull|BenchmarkAnalyzeXIncremental|BenchmarkStateClone|BenchmarkStateJoin|BenchmarkFigure3|BenchmarkFigure3Policy)$}"
-OUT="${OUT:-BENCH_PR5.json}"
+PATTERN="${PATTERN:-^(BenchmarkAnalyzeXFull|BenchmarkAnalyzeXIncremental|BenchmarkStateClone|BenchmarkStateJoin|BenchmarkFigure3|BenchmarkFigure3Policy|BenchmarkHierarchyFrontier)$}"
+OUT="${OUT:-BENCH_PR8.json}"
 
 raw=$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count="$COUNT" .)
 echo "$raw"
