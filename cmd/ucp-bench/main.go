@@ -47,6 +47,8 @@ func main() {
 		budget   = flag.Int("budget", 0, "optimizer validation budget per cell (0 = default)")
 		workers  = flag.Int("workers", 0, "cells analyzed concurrently (0 = GOMAXPROCS, 1 = serial)")
 		workerAt = flag.String("worker-urls", "", "comma-separated worker base URLs (ucp-serve -worker); empty runs the sweep in-process")
+		probeIvl = flag.Duration("probe-interval", 2*time.Second, "worker health-probe interval for -worker-urls (0 disables the prober)")
+		hedge    = flag.Bool("hedge", true, "hedge straggling cells onto a second healthy worker (-worker-urls only)")
 		progress = flag.Bool("progress", false, "print one line per completed cell to stderr")
 		verbose  = flag.Bool("v", false, "print per-cell completion lines (benchmark, config, policy, duration) to stderr via the span recorder")
 		out      = flag.String("out", "", "also write the report to this file")
@@ -114,8 +116,13 @@ func main() {
 				urls = append(urls, u)
 			}
 		}
-		coord, err := dist.New(dist.Options{Workers: urls})
+		coord, err := dist.New(dist.Options{
+			Workers:       urls,
+			ProbeInterval: *probeIvl,
+			Hedge:         *hedge,
+		})
 		exitOn(err)
+		defer coord.Close()
 		opts.Exec = coord.Exec
 	}
 

@@ -7,6 +7,7 @@
 //
 //	ucp-serve -addr :8080
 //	ucp-serve -addr :8080 -store-dir /var/lib/ucp/results   # restart-proof cache
+//	ucp-serve -addr :8080 -journal-dir /var/lib/ucp/jobs    # crash-recoverable sweep jobs
 //	ucp-serve -addr :8081 -worker                           # worker replica
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/analyze \
@@ -30,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"ucp/internal/journal"
 	"ucp/internal/service"
 	"ucp/internal/store"
 )
@@ -44,6 +46,7 @@ func main() {
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 		storeDir = flag.String("store-dir", "", "persistent result-store directory; empty disables the disk tier")
 		storeMax = flag.Int64("store-max-bytes", store.DefaultMaxBytes, "persistent result-store size bound in bytes")
+		jrnlDir  = flag.String("journal-dir", "", "job-journal directory; sweep jobs survive a crash and resume on restart (empty disables)")
 		worker   = flag.Bool("worker", false, "expose POST /v1/worker/cell for a distributed coordinator")
 		pprofAt  = flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
 		logJSON  = flag.Bool("log-json", false, "emit request logs as JSON lines instead of logfmt-style text")
@@ -85,12 +88,26 @@ func main() {
 		logger.Info("result store open", "dir", *storeDir, "max_bytes", *storeMax,
 			"entries", st.Stats().Entries, "bytes", st.Stats().Bytes)
 	}
+	// The journal likewise outlives the service: service.New replays it and
+	// resumes any interrupted sweep jobs before the listener exists, so a
+	// poller that reconnects after the restart never observes a gap.
+	var jnl *journal.Journal
+	if *jrnlDir != "" {
+		var err error
+		jnl, err = journal.Open(*jrnlDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		logger.Info("job journal open", "dir", *jrnlDir, "seq", jnl.Seq())
+	}
 	svc := service.New(service.Config{
 		Workers:      *workers,
 		CacheEntries: *entries,
 		MaxBodyBytes: *maxBody,
 		JobTimeout:   *timeout,
 		Store:        st,
+		Journal:      jnl,
 		EnableWorker: *worker,
 		Logger:       logger,
 	})

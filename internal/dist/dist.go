@@ -6,13 +6,20 @@
 // about their determinism changes: results land by index, output stays
 // byte-identical to a local run.
 //
-// The failure model is crash-stop workers behind an unreliable network:
-// transport errors and 5xx responses are retried on another replica with
-// exponential backoff, the failing worker sits out a cooldown, and only
-// when every attempt is exhausted does the cell — and with it the sweep —
-// fail. 4xx responses are permanent (the request itself is wrong; another
-// replica would answer the same), and context cancellation stops retrying
-// immediately.
+// The failure model is crash-stop workers behind an unreliable network.
+// Health is managed actively: each worker sits behind a three-state
+// circuit breaker (closed → open on consecutive failures, open → half-open
+// after a cooldown or a successful probe, half-open → closed on the next
+// success), and an optional background prober GETs every worker's /readyz
+// on an interval so a dead or saturated replica is ejected within one
+// probe period instead of after it has eaten a cell. Transient failures
+// (transport errors, 5xx) are retried on another replica with jittered
+// exponential backoff; 4xx responses are permanent (the request itself is
+// wrong; another replica would answer the same); context cancellation
+// stops retrying immediately. Straggler cells can be hedged: after a
+// p99-based delay the cell is re-issued to a second healthy worker, the
+// first result wins, and the loser is canceled — results are
+// deterministic, so hedging never changes an answer.
 package dist
 
 import (
@@ -22,7 +29,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -31,6 +40,7 @@ import (
 	"ucp/internal/cache"
 	"ucp/internal/energy"
 	"ucp/internal/experiment"
+	"ucp/internal/faults"
 	"ucp/internal/interrupt"
 	"ucp/internal/malardalen"
 	"ucp/internal/obs"
@@ -46,12 +56,33 @@ type Options struct {
 	Client *http.Client
 	// MaxAttempts bounds tries per cell across all workers (0 = 4).
 	MaxAttempts int
-	// Backoff is the first retry's delay; it doubles per attempt (0 = 50ms).
+	// Backoff is the first retry's base delay; it doubles per attempt and
+	// is jittered uniformly over [d/2, 3d/2) so synchronized retriers do
+	// not thunder onto a recovering worker in lockstep (0 = 50ms).
 	Backoff time.Duration
-	// Cooldown keeps a worker out of selection after a transport or 5xx
-	// failure (0 = 1s). Cooling workers are still used when every worker
-	// is cooling — a degraded replica beats failing the sweep.
+	// Cooldown is how long an open breaker holds before the worker is
+	// allowed one half-open trial (0 = 1s). Open workers are still used
+	// when every worker is open — a degraded replica beats failing the
+	// sweep.
 	Cooldown time.Duration
+	// FailureThreshold is the consecutive-failure count that trips a
+	// closed breaker open (0 = 3). A failure during half-open reopens
+	// immediately regardless.
+	FailureThreshold int
+	// ProbeInterval enables the background health prober: every interval,
+	// each worker's /readyz is checked; a failure opens its breaker at
+	// once, a success walks it open → half-open → closed. Zero disables
+	// probing (breakers are then driven by cell traffic alone). Stop the
+	// prober with Close.
+	ProbeInterval time.Duration
+	// Hedge enables hedged dispatch: a cell still unanswered after the
+	// hedge delay is re-issued to a second healthy worker; the first
+	// result wins and the loser's request is canceled.
+	Hedge bool
+	// HedgeDelay fixes the hedge delay. Zero means adaptive: the p99 of
+	// recent cell latencies (once minHedgeSamples have been observed, with
+	// a floor of minHedgeDelay) — only genuine stragglers get hedged.
+	HedgeDelay time.Duration
 }
 
 // Cell-level counters are process-global (one coordinator per process in
@@ -63,26 +94,144 @@ var (
 		"Cell attempts retried after a worker failure.")
 	distWorkerFailures = obs.NewCounterVec("ucp_dist_worker_failures_total",
 		"Transport errors and 5xx responses, by worker.", "worker")
+	distHedges = obs.NewCounter("ucp_dist_hedges_total",
+		"Straggler cells re-issued to a second worker (hedged dispatch).")
 )
 
-// worker is one replica plus its selection state.
+// breakerState is a worker's circuit-breaker position. The numeric values
+// are the ucp_dist_breaker_state gauge encoding — monotone in badness.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = 0 // healthy, full traffic
+	breakerHalfOpen breakerState = 1 // cooled down or probe-recovered: one trial allowed
+	breakerOpen     breakerState = 2 // ejected; selection avoids it
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// worker is one replica plus its selection and breaker state.
 type worker struct {
 	url string
 
 	mu       sync.Mutex
 	inflight int
-	coolTill time.Time
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	trial    bool      // a half-open trial is in flight
+}
+
+// effState returns the effective breaker state: an open breaker whose
+// cooldown has elapsed counts as half-open (one trial allowed) without
+// waiting for a probe to promote it. Caller holds w.mu.
+func (w *worker) effStateLocked(now time.Time, cooldown time.Duration) breakerState {
+	if w.state == breakerOpen && now.Sub(w.openedAt) >= cooldown {
+		return breakerHalfOpen
+	}
+	return w.state
+}
+
+func (w *worker) effState(now time.Time, cooldown time.Duration) breakerState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.effStateLocked(now, cooldown)
+}
+
+// onSuccess closes the breaker: any successful cell or probe proves the
+// worker back.
+func (w *worker) onSuccess() {
+	w.mu.Lock()
+	w.state = breakerClosed
+	w.fails = 0
+	w.trial = false
+	w.mu.Unlock()
+}
+
+// onFailure advances the breaker on one transient cell failure: a closed
+// breaker opens after threshold consecutive failures; a half-open trial
+// failing — or any failure while open — (re)opens immediately.
+func (w *worker) onFailure(now time.Time, cooldown time.Duration, threshold int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch w.effStateLocked(now, cooldown) {
+	case breakerClosed:
+		w.fails++
+		if w.fails >= threshold {
+			w.state = breakerOpen
+			w.openedAt = now
+			w.trial = false
+		}
+	default: // half-open trial failed, or already open: (re)start the clock
+		w.state = breakerOpen
+		w.openedAt = now
+		w.fails = 0
+		w.trial = false
+	}
+}
+
+// onProbeFailure ejects the worker immediately — a failed readiness probe
+// is authoritative, no threshold applies.
+func (w *worker) onProbeFailure(now time.Time) {
+	w.mu.Lock()
+	w.state = breakerOpen
+	w.openedAt = now
+	w.fails = 0
+	w.trial = false
+	w.mu.Unlock()
+}
+
+// onProbeSuccess walks the breaker one step toward closed: open →
+// half-open (the probe proves liveness; one real cell must still succeed),
+// half-open → closed, closed stays closed with the failure streak reset.
+func (w *worker) onProbeSuccess(now time.Time, cooldown time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch w.effStateLocked(now, cooldown) {
+	case breakerOpen:
+		w.state = breakerHalfOpen
+		w.trial = false
+	case breakerHalfOpen:
+		w.state = breakerClosed
+		w.fails = 0
+		w.trial = false
+	default:
+		w.fails = 0
+	}
+}
+
+func (w *worker) release() {
+	w.mu.Lock()
+	w.inflight--
+	w.mu.Unlock()
 }
 
 // Coordinator distributes cells over the configured workers. Its Exec
-// method is an experiment.CellExec.
+// method is an experiment.CellExec. Close stops the background prober (a
+// no-op when none was configured).
 type Coordinator struct {
 	client      *http.Client
 	workers     []*worker
 	maxAttempts int
 	backoff     time.Duration
 	cooldown    time.Duration
+	threshold   int
+	hedge       bool
+	hedgeDelay  time.Duration
 	rr          atomic.Uint64 // rotates tie-breaking across workers
+	lat         latencyWindow
+
+	stopProbe context.CancelFunc
+	probeDone chan struct{}
 }
 
 // New validates the options and builds a Coordinator.
@@ -95,6 +244,9 @@ func New(o Options) (*Coordinator, error) {
 		maxAttempts: o.MaxAttempts,
 		backoff:     o.Backoff,
 		cooldown:    o.Cooldown,
+		threshold:   o.FailureThreshold,
+		hedge:       o.Hedge,
+		hedgeDelay:  o.HedgeDelay,
 	}
 	if c.client == nil {
 		c.client = &http.Client{}
@@ -108,6 +260,9 @@ func New(o Options) (*Coordinator, error) {
 	if c.cooldown <= 0 {
 		c.cooldown = time.Second
 	}
+	if c.threshold <= 0 {
+		c.threshold = 3
+	}
 	for _, u := range o.Workers {
 		u = strings.TrimRight(strings.TrimSpace(u), "/")
 		if u == "" {
@@ -115,7 +270,94 @@ func New(o Options) (*Coordinator, error) {
 		}
 		c.workers = append(c.workers, &worker{url: u})
 	}
+	// The gauge pulls from this coordinator; re-registration rebinds, so
+	// the newest coordinator in a process owns the family.
+	obs.NewGaugeVecFunc("ucp_dist_breaker_state",
+		"Per-worker circuit-breaker state (0 closed, 1 half-open, 2 open).",
+		"worker", c.breakerStates)
+	if o.ProbeInterval > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		c.stopProbe = cancel
+		c.probeDone = make(chan struct{})
+		go c.probeLoop(ctx, o.ProbeInterval)
+	}
 	return c, nil
+}
+
+// Close stops the background health prober and waits for it to exit. Safe
+// to call when no prober runs, and more than once.
+func (c *Coordinator) Close() {
+	if c.stopProbe == nil {
+		return
+	}
+	c.stopProbe()
+	<-c.probeDone
+}
+
+// breakerStates snapshots every worker's effective breaker state for the
+// ucp_dist_breaker_state gauge (and tests).
+func (c *Coordinator) breakerStates() []obs.Sample {
+	now := time.Now()
+	out := make([]obs.Sample, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, obs.Sample{Label: w.url, Value: float64(w.effState(now, c.cooldown))})
+	}
+	return out
+}
+
+// probeLoop drives the health prober: one immediate round, then one per
+// tick, until Close.
+func (c *Coordinator) probeLoop(ctx context.Context, every time.Duration) {
+	defer close(c.probeDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		for _, w := range c.workers {
+			c.probe(ctx, w, every)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probe checks one worker's /readyz and drives its breaker: failure (or an
+// injected "dist.probe" fault, keyed by worker URL) opens it immediately;
+// success walks it open → half-open → closed. A readyz 503 — draining or
+// saturated — counts as failure: the replica asked not to receive work.
+func (c *Coordinator) probe(ctx context.Context, w *worker, every time.Duration) {
+	timeout := every
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	if err := faults.Fire(pctx, "dist.probe", w.url); err != nil {
+		w.onProbeFailure(time.Now())
+		return
+	}
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.url+"/readyz", nil)
+	if err != nil {
+		w.onProbeFailure(time.Now())
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // Close raced the probe; not the worker's fault
+		}
+		w.onProbeFailure(time.Now())
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxErrorBody))
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		w.onProbeSuccess(time.Now(), c.cooldown)
+	} else {
+		w.onProbeFailure(time.Now())
+	}
 }
 
 // cellRequest mirrors the worker endpoint's wire format
@@ -152,8 +394,9 @@ func (e *permanentError) Error() string {
 }
 
 // Exec ships one cell to a worker and returns its measurement. It is the
-// experiment.CellExec implementation: least-loaded healthy worker first,
-// exponential backoff across replicas on transient failure.
+// experiment.CellExec implementation: breaker-healthiest least-loaded
+// worker first, jittered exponential backoff across replicas on transient
+// failure, optional hedging for stragglers.
 func (c *Coordinator) Exec(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energy.Tech, o experiment.Options) (experiment.Cell, error) {
 	ctx, span := obs.Start(ctx, "dist.cell")
 	span.Attr("program", b.Name)
@@ -188,9 +431,9 @@ func (c *Coordinator) Exec(ctx context.Context, b malardalen.Benchmark, cfgIdx i
 		if attempt > 0 {
 			distRetries.Inc()
 			span.Attr("retries", attempt)
-			// Exponential backoff, interruptible: a canceled sweep must not
-			// sit out its backoff before noticing.
-			t := time.NewTimer(c.backoff << (attempt - 1))
+			// Jittered exponential backoff, interruptible: a canceled sweep
+			// must not sit out its backoff before noticing.
+			t := time.NewTimer(c.retryDelay(attempt))
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -202,8 +445,7 @@ func (c *Coordinator) Exec(ctx context.Context, b malardalen.Benchmark, cfgIdx i
 			return experiment.Cell{}, interrupt.Cause(ctx)
 		}
 
-		w := c.pick()
-		cell, err := c.post(ctx, w, body)
+		cell, err := c.attempt(ctx, body)
 		if err == nil {
 			distCells.Inc()
 			return cell, nil
@@ -215,56 +457,206 @@ func (c *Coordinator) Exec(ctx context.Context, b malardalen.Benchmark, cfgIdx i
 		if errors.As(err, &perm) {
 			return experiment.Cell{}, err
 		}
-		// Transient: cool the worker so the next pick prefers its siblings,
-		// and go around.
-		distWorkerFailures.With(w.url).Inc()
-		w.cool(c.cooldown)
 		lastErr = err
 	}
 	return experiment.Cell{}, fmt.Errorf("dist: cell %s/%s/%s failed after %d attempts: %w",
 		b.Name, cache.ConfigID(cfgIdx), tech, c.maxAttempts, lastErr)
 }
 
-// pick selects the healthy worker with the fewest cells in flight
-// (join-shortest-queue); when every worker is cooling, the least-loaded
-// one is used anyway. Ties rotate round-robin so a serial caller still
-// spreads cells across replicas instead of pinning the first URL. The
-// returned worker's inflight count is already incremented; post releases
-// it.
-func (c *Coordinator) pick() *worker {
+// retryDelay is the backoff before attempt n (n >= 1): the base doubles
+// per attempt and the result is spread uniformly over [d/2, 3d/2), so a
+// herd of cells that failed together does not retry together.
+func (c *Coordinator) retryDelay(attempt int) time.Duration {
+	d := c.backoff << (attempt - 1)
+	return d/2 + rand.N(d)
+}
+
+// settle does the failure/success accounting for one post against one
+// worker: success closes the breaker and feeds the latency window;
+// transient failure advances it. Permanent (4xx) answers and interrupts
+// are not the worker's fault.
+func (c *Coordinator) settle(w *worker, err error, elapsed time.Duration) {
+	if err == nil {
+		w.onSuccess()
+		c.lat.observe(elapsed)
+		return
+	}
+	if interrupt.Is(err) {
+		return
+	}
+	var perm *permanentError
+	if errors.As(err, &perm) {
+		return
+	}
+	distWorkerFailures.With(w.url).Inc()
+	w.onFailure(time.Now(), c.cooldown, c.threshold)
+}
+
+// attempt runs one (possibly hedged) dispatch. Without hedging it is a
+// single pick-post-settle. With hedging, a cell still unanswered after the
+// hedge delay is raced against a second healthy worker on a shared
+// cancelable context: the first success cancels the other request, whose
+// canceled error is never charged to its worker.
+func (c *Coordinator) attempt(ctx context.Context, body []byte) (experiment.Cell, error) {
+	w := c.pick(nil)
+	start := time.Now()
+	delay, hedge := c.hedgeAfter()
+	if !hedge {
+		cell, err := c.post(ctx, w, body)
+		c.settle(w, err, time.Since(start))
+		return cell, err
+	}
+
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the loser once a winner returns
+
+	type outcome struct {
+		cell experiment.Cell
+		err  error
+		w    *worker
+	}
+	ch := make(chan outcome, 2)
+	launch := func(lw *worker) {
+		go func() {
+			cell, err := c.post(actx, lw, body)
+			ch <- outcome{cell: cell, err: err, w: lw}
+		}()
+	}
+	launch(w)
+	pending := 1
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var lastErr error
+	for {
+		select {
+		case <-timer.C:
+			if w2 := c.pickHealthy(w); w2 != nil {
+				distHedges.Inc()
+				pending++
+				launch(w2)
+			}
+		case o := <-ch:
+			pending--
+			if o.err == nil {
+				c.settle(o.w, nil, time.Since(start))
+				return o.cell, nil
+			}
+			if interrupt.Is(o.err) && ctx.Err() == nil && actx.Err() != nil {
+				// The hedge race canceled this attempt after its sibling won;
+				// that branch returned already. Reaching here means the
+				// sibling lost too — treat as transient, not worker fault.
+				lastErr = o.err
+			} else {
+				c.settle(o.w, o.err, 0)
+				var perm *permanentError
+				if errors.As(o.err, &perm) || interrupt.Is(o.err) || ctx.Err() != nil {
+					return experiment.Cell{}, o.err
+				}
+				lastErr = o.err
+			}
+			if pending == 0 {
+				return experiment.Cell{}, lastErr
+			}
+		case <-ctx.Done():
+			return experiment.Cell{}, interrupt.Cause(ctx)
+		}
+	}
+}
+
+// hedgeAfter decides whether this dispatch hedges and after how long:
+// never with hedging off or fewer than two workers; at the fixed
+// HedgeDelay when configured; otherwise at the p99 of recent latencies
+// once the window has enough samples to mean something.
+func (c *Coordinator) hedgeAfter() (time.Duration, bool) {
+	if !c.hedge || len(c.workers) < 2 {
+		return 0, false
+	}
+	if c.hedgeDelay > 0 {
+		return c.hedgeDelay, true
+	}
+	d, ok := c.lat.p99()
+	if !ok {
+		return 0, false
+	}
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	return d, true
+}
+
+// pick selects the worker with the best (breaker state, inflight) pair:
+// closed beats half-open beats open, fewest in-flight cells within a
+// class; when every worker is open, the least-loaded one is used anyway.
+// Ties rotate round-robin so a serial caller still spreads cells across
+// replicas instead of pinning the first URL. A half-open worker admits
+// only one trial at a time — a second pick ranks it as open. The returned
+// worker's inflight count is already incremented; post releases it.
+// exclude (may be nil) is skipped — the hedge must find a different
+// worker.
+func (c *Coordinator) pick(exclude *worker) *worker {
 	now := time.Now()
 	off := int(c.rr.Add(1)) % len(c.workers)
 	var best *worker
+	var bestState breakerState
 	bestLoad := 0
-	bestCooling := false
 	for i := range c.workers {
 		w := c.workers[(off+i)%len(c.workers)]
-		w.mu.Lock()
-		load, cooling := w.inflight, now.Before(w.coolTill)
-		w.mu.Unlock()
-		if best == nil ||
-			(bestCooling && !cooling) ||
-			(cooling == bestCooling && load < bestLoad) {
-			best, bestLoad, bestCooling = w, load, cooling
+		if w == exclude {
+			continue
 		}
+		w.mu.Lock()
+		st := w.effStateLocked(now, c.cooldown)
+		if st == breakerHalfOpen && w.trial {
+			st = breakerOpen // trial slot taken; treat as ejected for now
+		}
+		load := w.inflight
+		w.mu.Unlock()
+		if best == nil || st < bestState || (st == bestState && load < bestLoad) {
+			best, bestState, bestLoad = w, st, load
+		}
+	}
+	if best == nil {
+		return nil
 	}
 	best.mu.Lock()
 	best.inflight++
+	if best.effStateLocked(now, c.cooldown) == breakerHalfOpen {
+		best.trial = true
+	}
 	best.mu.Unlock()
 	return best
 }
 
-// cool marks the worker unhealthy for the cooldown window.
-func (w *worker) cool(d time.Duration) {
-	w.mu.Lock()
-	w.coolTill = time.Now().Add(d)
-	w.mu.Unlock()
-}
-
-func (w *worker) release() {
-	w.mu.Lock()
-	w.inflight--
-	w.mu.Unlock()
+// pickHealthy returns a closed-breaker worker other than exclude (the
+// hedge target), or nil when none qualifies — hedging onto a sick worker
+// would amplify load exactly when it hurts most.
+func (c *Coordinator) pickHealthy(exclude *worker) *worker {
+	now := time.Now()
+	off := int(c.rr.Add(1)) % len(c.workers)
+	var best *worker
+	bestLoad := 0
+	for i := range c.workers {
+		w := c.workers[(off+i)%len(c.workers)]
+		if w == exclude {
+			continue
+		}
+		w.mu.Lock()
+		st := w.effStateLocked(now, c.cooldown)
+		load := w.inflight
+		w.mu.Unlock()
+		if st != breakerClosed {
+			continue
+		}
+		if best == nil || load < bestLoad {
+			best, bestLoad = w, load
+		}
+	}
+	if best != nil {
+		best.mu.Lock()
+		best.inflight++
+		best.mu.Unlock()
+	}
+	return best
 }
 
 // maxErrorBody bounds how much of a worker error response is kept for the
@@ -307,4 +699,51 @@ func (c *Coordinator) post(ctx context.Context, w *worker, body []byte) (experim
 		return experiment.Cell{}, fmt.Errorf("dist: %s: status %d: %s",
 			w.url, resp.StatusCode, strings.TrimSpace(string(msg)))
 	}
+}
+
+// minHedgeSamples is how many completed cells the latency window needs
+// before an adaptive p99 is trusted; minHedgeDelay floors the delay so a
+// burst of cache-hit-fast cells cannot make hedging fire on everything.
+const (
+	minHedgeSamples = 8
+	minHedgeDelay   = 25 * time.Millisecond
+	latWindowSize   = 128
+)
+
+// latencyWindow is a bounded ring of recent cell latencies feeding the
+// adaptive hedge delay.
+type latencyWindow struct {
+	mu   sync.Mutex
+	ring [latWindowSize]time.Duration
+	pos  int
+	n    int
+}
+
+func (l *latencyWindow) observe(d time.Duration) {
+	l.mu.Lock()
+	l.ring[l.pos] = d
+	l.pos = (l.pos + 1) % latWindowSize
+	if l.n < latWindowSize {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// p99 is the nearest-rank 99th percentile over the window; ok is false
+// until minHedgeSamples observations exist.
+func (l *latencyWindow) p99() (time.Duration, bool) {
+	l.mu.Lock()
+	if l.n < minHedgeSamples {
+		l.mu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, l.n)
+	copy(buf, l.ring[:l.n])
+	l.mu.Unlock()
+	sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+	rank := (99*len(buf) + 99) / 100 // ceil(0.99n), 1-based nearest rank
+	if rank > len(buf) {
+		rank = len(buf)
+	}
+	return buf[rank-1], true
 }

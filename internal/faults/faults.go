@@ -35,8 +35,11 @@
 // Sites currently wired: pool.task (key = task index), service.analyze
 // (key = program name), experiment.cell (key = program/config/tech),
 // worker.cell (key = program/config/tech, fired by the worker replica's
-// cell endpoint), and absint.round (key = "", one hook per
-// cyclic-component restart round).
+// cell endpoint), absint.round (key = "", one hook per cyclic-component
+// restart round), journal.append (key = job ID, fired before every job
+// journal write), and dist.probe (key = worker URL, fired by the
+// coordinator's health prober — arming it "kills" a worker from the
+// prober's point of view without touching the real server).
 package faults
 
 import (

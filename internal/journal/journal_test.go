@@ -1,0 +1,303 @@
+package journal
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ucp/internal/faults"
+)
+
+func mustBegin(t *testing.T, l *Journal, id string, total int) *Writer {
+	t.Helper()
+	w, err := l.Begin(context.Background(), id, time.Now().UTC(), total, json.RawMessage(`{"programs":["fibcall"]}`))
+	if err != nil {
+		t.Fatalf("Begin(%s): %v", id, err)
+	}
+	return w
+}
+
+func replayOne(t *testing.T, l *Journal) Job {
+	t.Helper()
+	jobs, err := l.Replay()
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("Replay returned %d jobs, want 1", len(jobs))
+	}
+	return jobs[0]
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w := mustBegin(t, l, "job-000001", 3)
+	if err := w.Cell(ctx, 0, false, json.RawMessage(`{"program":"fibcall","wcet_orig":42}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Cell(ctx, 2, true, json.RawMessage(`{"program":"fac"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CellFailed(ctx, 1, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(ctx, "done", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	j := replayOne(t, l)
+	if j.ID != "job-000001" || j.Total != 3 || j.State != "done" {
+		t.Fatalf("bad replay: %+v", j)
+	}
+	if len(j.Cells) != 2 || j.Cells[0].Cached || !j.Cells[2].Cached {
+		t.Fatalf("bad cells: %+v", j.Cells)
+	}
+	if !strings.Contains(string(j.Cells[0].Result), `"wcet_orig":42`) {
+		t.Fatalf("cell 0 result lost: %s", j.Cells[0].Result)
+	}
+	if j.Failures[1] != "boom" {
+		t.Fatalf("bad failures: %+v", j.Failures)
+	}
+	if j.Resumed || j.Skipped != 0 {
+		t.Fatalf("unexpected resumed=%v skipped=%d", j.Resumed, j.Skipped)
+	}
+	if j.Finished.IsZero() {
+		t.Fatal("finish time not replayed")
+	}
+}
+
+// TestJournalTornTailTolerated is the crash signature: the process died
+// mid-append, leaving a partial final line. Replay must keep everything
+// before it and report the job as unfinished (the resume signal).
+func TestJournalTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w := mustBegin(t, l, "job-000001", 4)
+	if err := w.Cell(ctx, 0, false, json.RawMessage(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Cell(ctx, 1, false, json.RawMessage(`{"a":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "job-000001.ndjson"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"cell","index":2,"resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j := replayOne(t, l)
+	if len(j.Cells) != 2 || j.State != "" {
+		t.Fatalf("want 2 cells and unfinished state, got %d cells state %q", len(j.Cells), j.State)
+	}
+	if j.Skipped != 1 {
+		t.Fatalf("torn tail should count as 1 skipped line, got %d", j.Skipped)
+	}
+}
+
+// TestJournalCorruptMidFileSkipsLine: corruption in the middle must not
+// shadow the valid records after it.
+func TestJournalCorruptMidFileSkipsLine(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w := mustBegin(t, l, "job-000001", 2)
+	if err := w.Cell(ctx, 0, false, json.RawMessage(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	path := filepath.Join(dir, "job-000001.ndjson")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = append(b, []byte("NOT JSON AT ALL\n")...)
+	b = append(b, []byte(`{"type":"cell","index":1,"result":{"a":2}}`+"\n")...)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j := replayOne(t, l)
+	if len(j.Cells) != 2 {
+		t.Fatalf("want both cells despite mid-file garbage, got %+v", j.Cells)
+	}
+	if j.Skipped != 1 {
+		t.Fatalf("want 1 skipped line, got %d", j.Skipped)
+	}
+}
+
+// TestJournalSeqSurvivesPrune: the high-water mark must outlive the
+// journal files themselves — the service's expired-404 contract needs IDs
+// retired forever even after pruning.
+func TestJournalSeqSurvivesPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mustBegin(t, l, "job-000007", 1)
+	w.Finish(context.Background(), "done", "")
+	if got := l.Seq(); got != 7 {
+		t.Fatalf("Seq after Begin = %d, want 7", got)
+	}
+	if err := l.Remove("job-000007"); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Seq(); got != 7 {
+		t.Fatalf("Seq after Remove+reopen = %d, want 7 (SEQ file must persist)", got)
+	}
+	jobs, err := l2.Replay()
+	if err != nil || len(jobs) != 0 {
+		t.Fatalf("removed job still replays: %v %v", jobs, err)
+	}
+}
+
+// TestJournalSeqFromFilenameOnly: a crash between file creation and SEQ
+// persistence leaves the filename as the only witness of the allocation.
+func TestJournalSeqFromFilenameOnly(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "job-000042.ndjson"),
+		[]byte(`{"type":"submit","v":1,"id":"job-000042","total":1,"sweep":{}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, seqFile))
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Seq(); got != 42 {
+		t.Fatalf("Seq from filename = %d, want 42", got)
+	}
+}
+
+func TestJournalResumeMarker(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w := mustBegin(t, l, "job-000001", 3)
+	if err := w.Cell(ctx, 0, false, json.RawMessage(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close() // crash: no terminal record
+
+	w2, err := l.Resume(ctx, "job-000001")
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if err := w2.Cell(ctx, 1, false, json.RawMessage(`{"a":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Cell(ctx, 2, false, json.RawMessage(`{"a":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Finish(ctx, "done", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	j := replayOne(t, l)
+	if !j.Resumed {
+		t.Fatal("resume marker lost")
+	}
+	if len(j.Cells) != 3 || j.State != "done" {
+		t.Fatalf("bad resumed replay: %+v", j)
+	}
+}
+
+// TestJournalForeignFilesIgnored: the SEQ file, editor droppings, and
+// non-job names must never confuse replay.
+func TestJournalForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range map[string]string{
+		"notes.txt":          "hello",
+		"evil.ndjson":        `{"type":"submit","id":"evil","total":1}` + "\n",
+		"job-garbage.ndjson": "not a journal\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := mustBegin(t, l, "job-000001", 1)
+	w.Finish(context.Background(), "done", "")
+	j := replayOne(t, l)
+	if j.ID != "job-000001" {
+		t.Fatalf("replayed wrong job: %+v", j)
+	}
+}
+
+func TestJournalInvalidIDRejected(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "job-", "job-0", "../../etc/passwd", "job-1x", "other-1"} {
+		if id == "job-0" {
+			continue // numeric but < 1, checked below
+		}
+		if _, err := l.Begin(context.Background(), id, time.Now(), 1, nil); err == nil {
+			t.Errorf("Begin(%q) accepted", id)
+		}
+	}
+	if _, err := l.Begin(context.Background(), "job-0", time.Now(), 1, nil); err == nil {
+		t.Error(`Begin("job-0") accepted`)
+	}
+}
+
+// TestJournalAppendFaultSite: the journal.append hook must surface as an
+// append error (which the service treats as a durability downgrade, not a
+// job failure).
+func TestJournalAppendFaultSite(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w := mustBegin(t, l, "job-000001", 2)
+	if err := faults.Arm("journal.append:*=err"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faults.Disarm)
+	if err := w.Cell(ctx, 0, false, json.RawMessage(`{"a":1}`)); err == nil {
+		t.Fatal("armed journal.append fault did not fire")
+	}
+	faults.Disarm()
+	if err := w.Cell(ctx, 0, false, json.RawMessage(`{"a":1}`)); err != nil {
+		t.Fatalf("append after disarm: %v", err)
+	}
+	if err := w.Finish(ctx, "done", ""); err != nil {
+		t.Fatal(err)
+	}
+	if j := replayOne(t, l); len(j.Cells) != 1 {
+		t.Fatalf("want 1 cell, got %+v", j.Cells)
+	}
+}

@@ -1,0 +1,59 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestAdmissionRetryAfter (satellite) audits every admission-control
+// refusal across the four POST routes: saturation 429s (sweep, batch) and
+// draining 503s (analyze, sweep, batch, worker/cell) must all carry
+// Retry-After, so a client that honors the header backs off on every
+// refusal path, not just the one the first test happened to pin.
+func TestAdmissionRetryAfter(t *testing.T) {
+	ts, svc := testServer(t, Config{MaxQueuedJobs: 1, EnableWorker: true})
+
+	// Occupy the single job slot with a queued job that is never started:
+	// the store counts it active, nothing runs.
+	if _, _, err := svc.jobs.tryAdd(SweepRequest{}, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	sweepBody := `{"programs":["fibcall"],"configs":["k1"],"techs":["45nm"],"runs":1,"validation_budget":20}`
+	saturated := []struct {
+		name, path, body string
+	}{
+		{"sweep", "/v1/sweep", sweepBody},
+		{"batch", "/v1/batch", sweepBody},
+	}
+	for _, tc := range saturated {
+		resp, body := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Errorf("saturated %s: status = %d, want 429 (body %s)", tc.name, resp.StatusCode, body)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Errorf("saturated %s: 429 without Retry-After", tc.name)
+		}
+	}
+
+	// Drain flips every POST route to 503 — again with Retry-After, so load
+	// balancers rotating a restarting replica get the same back-off hint.
+	svc.Drain()
+	drained := []struct {
+		name, path, body string
+	}{
+		{"analyze", "/v1/analyze", smallAnalyze},
+		{"sweep", "/v1/sweep", sweepBody},
+		{"batch", "/v1/batch", sweepBody},
+		{"worker/cell", "/v1/worker/cell", smallAnalyze},
+	}
+	for _, tc := range drained {
+		resp, body := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("draining %s: status = %d, want 503 (body %s)", tc.name, resp.StatusCode, body)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Errorf("draining %s: 503 without Retry-After", tc.name)
+		}
+	}
+}

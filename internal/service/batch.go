@@ -115,6 +115,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.unavailable(w, "server is draining")
 		return
 	}
+	// Batch admission mirrors /readyz's saturation signal: a server with a
+	// full job backlog refuses new multi-cell work with the same 429 +
+	// Retry-After contract as /v1/sweep (a batch is sweep-sized; letting it
+	// through while sweeps bounce would make the bound meaningless).
+	if s.jobs.activeJobs() >= s.cfg.MaxQueuedJobs {
+		s.metrics.countBatchRejected()
+		s.tooMany(w, "server saturated (%d unfinished jobs); retry later", s.cfg.MaxQueuedJobs)
+		return
+	}
 	var req BatchRequest
 	if !s.decodeBody(w, r, &req) {
 		return

@@ -191,7 +191,7 @@ func TestExpiredJob404Body(t *testing.T) {
 	// pruned. Driving >256 real sweeps through HTTP would dominate the
 	// suite, so finished jobs are injected directly.
 	for i := 0; i < maxFinishedJobs+2; i++ {
-		j, err := svc.jobs.tryAdd(nil, 10_000)
+		j, _, err := svc.jobs.tryAdd(SweepRequest{}, nil, 10_000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,7 +200,7 @@ func TestExpiredJob404Body(t *testing.T) {
 		j.mu.Unlock()
 	}
 	// One more add runs prune over the now-finished backlog.
-	if _, err := svc.jobs.tryAdd(nil, 10_000); err != nil {
+	if _, _, err := svc.jobs.tryAdd(SweepRequest{}, nil, 10_000); err != nil {
 		t.Fatal(err)
 	}
 
@@ -238,7 +238,7 @@ func TestReadyzStates(t *testing.T) {
 		t.Fatalf("fresh server: %d %s, want 200 ready", resp.StatusCode, body)
 	}
 
-	if _, err := svc.jobs.tryAdd(nil, 1); err != nil {
+	if _, _, err := svc.jobs.tryAdd(SweepRequest{}, nil, 1); err != nil {
 		t.Fatal(err)
 	}
 	resp, body = getBody(t, ts.URL+"/readyz")

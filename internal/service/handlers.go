@@ -65,6 +65,15 @@ func (s *Server) unavailable(w http.ResponseWriter, format string, args ...any) 
 	s.writeError(w, http.StatusServiceUnavailable, format, args...)
 }
 
+// tooMany writes an admission-control 429. Every 429 carries Retry-After —
+// the sweep path always did, and this helper keeps any future refusal path
+// from forgetting the header (clients use it to back off instead of
+// hammering a saturated server).
+func (s *Server) tooMany(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", "30")
+	s.writeError(w, http.StatusTooManyRequests, format, args...)
+}
+
 // decodeBody parses the JSON request body into v, translating the body
 // size limit into 413 and malformed JSON into 400. It reports whether
 // decoding succeeded; on failure the error response has been written.
@@ -400,16 +409,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.resolveErr(w, err)
 		return
 	}
-	j, err := s.jobs.tryAdd(cases, s.cfg.MaxQueuedJobs)
+	j, pruned, err := s.jobs.tryAdd(req, cases, s.cfg.MaxQueuedJobs)
 	if err != nil {
 		// The backlog is bounded; tell the client when trying again is
 		// likely to succeed rather than letting jobs pile up unbounded.
 		s.metrics.countJobRejected()
-		w.Header().Set("Retry-After", "30")
-		s.writeError(w, http.StatusTooManyRequests,
-			"job queue full (%d unfinished jobs); retry later", s.cfg.MaxQueuedJobs)
+		s.tooMany(w, "job queue full (%d unfinished jobs); retry later", s.cfg.MaxQueuedJobs)
 		return
 	}
+	s.removeJournals(pruned)
+	s.journalSubmit(j)
 	s.startSweep(j)
 	s.writeJSON(w, http.StatusAccepted, map[string]any{
 		"job_id":     j.id,

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"ucp/internal/cache"
 	"ucp/internal/interrupt"
+	"ucp/internal/journal"
 	"ucp/internal/pool"
 )
 
@@ -53,6 +55,9 @@ type JobStatus struct {
 	Error      string    `json:"error,omitempty"`
 	CreatedAt  time.Time `json:"created_at"`
 	FinishedAt time.Time `json:"finished_at,omitzero"`
+	// Resumed marks a job that survived a server restart: it was replayed
+	// from the job journal and continued under its original ID.
+	Resumed bool `json:"resumed,omitempty"`
 	// CellErrors lists up to maxCellErrors per-cell failure messages
 	// ("program/config/tech: reason"); Failed carries the full count.
 	CellErrors []string `json:"cell_errors,omitempty"`
@@ -70,9 +75,13 @@ const maxCellErrors = 16
 type job struct {
 	id    string
 	cases []useCase
+	// req is the original sweep request, kept so the journal's submit
+	// record can re-resolve the exact same cell list on resume.
+	req SweepRequest
 
 	mu         sync.Mutex
 	state      jobState
+	resumed    bool
 	done       int
 	cacheHits  int
 	failed     int
@@ -81,6 +90,14 @@ type job struct {
 	created    time.Time
 	finished   time.Time
 	results    []Result
+	// jw journals this job's progress; nil when the server runs without a
+	// journal (the historical, memory-only behavior).
+	jw *journal.Writer
+	// have/pre carry journal-replayed cells into startSweep on resume:
+	// have[i] means cell i already completed in a previous process and
+	// pre[i] is its result — it is answered with zero pipeline runs.
+	have []bool
+	pre  []Result
 }
 
 // status snapshots the job for the wire. Results are shared read-only once
@@ -98,6 +115,7 @@ func (j *job) status() JobStatus {
 		Error:      j.errMsg,
 		CreatedAt:  j.created,
 		FinishedAt: j.finished,
+		Resumed:    j.resumed,
 		CellErrors: j.cellErrors,
 	}
 	if j.state == jobDone {
@@ -130,8 +148,11 @@ type jobStore struct {
 	order []string // creation order, for pruning
 }
 
-func newJobStore() *jobStore {
-	return &jobStore{jobs: map[string]*job{}}
+// newJobStore builds a store whose sequence counter starts at seed — the
+// journal's persisted high-water mark, so IDs stay monotonic across
+// restarts and the expired-404 contract keeps holding after recovery.
+func newJobStore(seed int) *jobStore {
+	return &jobStore{seq: seed, jobs: map[string]*job{}}
 }
 
 // errJobQueueFull is tryAdd's admission refusal; the handler maps it to
@@ -141,8 +162,9 @@ var errJobQueueFull = fmt.Errorf("job queue full")
 // tryAdd registers a job unless the store already holds maxActive
 // unfinished (queued or running) jobs. The admission check and the insert
 // happen under one lock so concurrent submissions cannot both squeeze past
-// the bound.
-func (s *jobStore) tryAdd(cases []useCase, maxActive int) (*job, error) {
+// the bound. pruned lists the IDs of finished jobs dropped to make room;
+// the caller removes their journal files outside the lock.
+func (s *jobStore) tryAdd(req SweepRequest, cases []useCase, maxActive int) (j *job, pruned []string, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	active := 0
@@ -154,19 +176,36 @@ func (s *jobStore) tryAdd(cases []useCase, maxActive int) (*job, error) {
 		}
 	}
 	if active >= maxActive {
-		return nil, errJobQueueFull
+		return nil, nil, errJobQueueFull
 	}
 	s.seq++
-	j := &job{
+	j = &job{
 		id:      fmt.Sprintf("job-%06d", s.seq),
+		req:     req,
 		cases:   cases,
 		state:   jobQueued,
 		created: time.Now().UTC(),
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	s.prune()
-	return j, nil
+	return j, s.prune(), nil
+}
+
+// adopt inserts a journal-replayed job under its original ID, advancing
+// the sequence counter past it. Duplicate IDs are a replay bug and are
+// ignored rather than clobbering a live job.
+func (s *jobStore) adopt(j *job) (pruned []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.jobs[j.id]; exists {
+		return nil
+	}
+	if n, err := strconv.Atoi(strings.TrimPrefix(j.id, "job-")); err == nil && n > s.seq {
+		s.seq = n
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	return s.prune()
 }
 
 // activeJobs counts unfinished (queued or running) jobs, for /readyz.
@@ -184,9 +223,9 @@ func (s *jobStore) activeJobs() int {
 	return active
 }
 
-// prune drops the oldest finished jobs beyond maxFinishedJobs. Caller
-// holds s.mu.
-func (s *jobStore) prune() {
+// prune drops the oldest finished jobs beyond maxFinishedJobs and returns
+// their IDs so the caller can unlink their journals. Caller holds s.mu.
+func (s *jobStore) prune() (pruned []string) {
 	finished := 0
 	for _, id := range s.order {
 		if st := s.jobs[id]; st != nil && (st.currentState() == jobDone || st.currentState() == jobFailed) {
@@ -194,19 +233,21 @@ func (s *jobStore) prune() {
 		}
 	}
 	if finished <= maxFinishedJobs {
-		return
+		return nil
 	}
 	keep := s.order[:0]
 	for _, id := range s.order {
 		j := s.jobs[id]
 		if j != nil && finished > maxFinishedJobs && (j.currentState() == jobDone || j.currentState() == jobFailed) {
 			delete(s.jobs, id)
+			pruned = append(pruned, id)
 			finished--
 			continue
 		}
 		keep = append(keep, id)
 	}
 	s.order = keep
+	return pruned
 }
 
 func (j *job) currentState() jobState {
@@ -272,9 +313,22 @@ func (s *Server) startSweep(j *job) {
 		j.mu.Lock()
 		j.state = jobRunning
 		results := make([]Result, len(j.cases))
+		// Cells the journal already answered (resume): copy their results
+		// in and never touch the pipeline for them again.
+		for i, ok := range j.have {
+			if ok {
+				results[i] = j.pre[i]
+			}
+		}
 		j.mu.Unlock()
 
 		err := s.pool.ForEach(ctx, len(j.cases), func(ctx context.Context, i int) error {
+			j.mu.Lock()
+			replayed := i < len(j.have) && j.have[i]
+			j.mu.Unlock()
+			if replayed {
+				return nil
+			}
 			uc := j.cases[i]
 			var (
 				res    Result
@@ -291,6 +345,7 @@ func (s *Server) startSweep(j *job) {
 					return interrupt.Wrap(aerr)
 				}
 				j.failCell(uc, aerr)
+				s.journalCellFailed(ctx, j, i, aerr)
 				return nil
 			}
 			results[i] = res
@@ -300,20 +355,69 @@ func (s *Server) startSweep(j *job) {
 				j.cacheHits++
 			}
 			j.mu.Unlock()
+			s.journalCell(ctx, j, i, cached, res)
 			return nil
 		})
 
 		j.mu.Lock()
-		defer j.mu.Unlock()
 		j.finished = time.Now().UTC()
+		jw := j.jw
 		if err != nil {
 			j.state = jobFailed
 			j.errMsg = err.Error()
+			j.mu.Unlock()
+			// An interrupted job (drain, shutdown, job timeout) closes its
+			// journal WITHOUT a terminal record: the unfinished journal is
+			// exactly the signal the next process resumes from.
+			if jw != nil {
+				jw.Close()
+			}
 			return
 		}
 		j.state = jobDone
 		j.results = results
+		j.mu.Unlock()
+		if jw != nil {
+			// The terminal record makes the completion durable; from here a
+			// restart replays the job as finished, results intact.
+			if ferr := jw.Finish(context.Background(), string(jobDone), ""); ferr != nil {
+				s.log.Warn("journal finish failed", "job", j.id, "err", ferr)
+			}
+		}
 	}()
+}
+
+// journalCell durably records one completed cell. Journal failures are a
+// durability downgrade (the cell would re-execute after a crash), never a
+// reason to fail the cell — mirroring the result store's put policy.
+func (s *Server) journalCell(ctx context.Context, j *job, i int, cached bool, res Result) {
+	j.mu.Lock()
+	jw := j.jw
+	j.mu.Unlock()
+	if jw == nil {
+		return
+	}
+	payload, err := json.Marshal(res)
+	if err == nil {
+		err = jw.Cell(ctx, i, cached, payload)
+	}
+	if err != nil && !interrupt.Is(err) {
+		s.log.Warn("journal cell append failed", "job", j.id, "cell", i, "err", err)
+	}
+}
+
+// journalCellFailed records one failed cell (informational: resume retries
+// failed cells).
+func (s *Server) journalCellFailed(ctx context.Context, j *job, i int, cellErr error) {
+	j.mu.Lock()
+	jw := j.jw
+	j.mu.Unlock()
+	if jw == nil {
+		return
+	}
+	if err := jw.CellFailed(ctx, i, sanitizeCellError(cellErr)); err != nil && !interrupt.Is(err) {
+		s.log.Warn("journal cellfail append failed", "job", j.id, "cell", i, "err", err)
+	}
 }
 
 // resolveSweep expands a SweepRequest into the deterministic use-case

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// markDone flips a job terminal so the store's prune considers it.
+func markDone(j *job) {
+	j.mu.Lock()
+	j.state = jobDone
+	j.mu.Unlock()
+}
+
+// TestJobStorePruneVsGetConcurrent (satellite) hammers tryAdd+prune against
+// get under -race and locks in the sequential-ID contract: an ID the store
+// ever allocated answers get with either the live job (ok) or expired —
+// never the "never existed" miss that would turn a pruned job's 404 into a
+// lie. The store is seeded well past maxFinishedJobs so every submission
+// prunes.
+func TestJobStorePruneVsGetConcurrent(t *testing.T) {
+	s := newJobStore(0)
+	const seed = maxFinishedJobs + 50
+	for i := 0; i < seed; i++ {
+		j, _, err := s.tryAdd(SweepRequest{}, nil, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		markDone(j)
+	}
+
+	// allocated is the high-water mark of IDs handed out; getters probe at
+	// and below it while submitters race it upward.
+	var allocated atomic.Int64
+	allocated.Store(seed)
+
+	var wg sync.WaitGroup
+	const (
+		submitters = 4
+		getters    = 4
+		perWorker  = 200
+	)
+	errs := make(chan string, submitters*perWorker+getters*perWorker)
+
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				j, _, err := s.tryAdd(SweepRequest{}, nil, 1<<30)
+				if err != nil {
+					errs <- fmt.Sprintf("tryAdd: %v", err)
+					return
+				}
+				allocated.Add(1)
+				markDone(j)
+				s.mu.Lock()
+				s.prune()
+				s.mu.Unlock()
+			}
+		}()
+	}
+	for w := 0; w < getters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Probe a spread of allocated IDs: old (certainly pruned),
+				// recent, and the current frontier.
+				hi := allocated.Load()
+				for _, n := range []int64{1, hi / 2, hi} {
+					id := fmt.Sprintf("job-%06d", n)
+					j, ok, expired := s.get(id)
+					if !ok && !expired {
+						errs <- fmt.Sprintf("get(%s) claims the job never existed (hi=%d)", id, hi)
+						return
+					}
+					if ok && j == nil {
+						errs <- fmt.Sprintf("get(%s) ok with nil job", id)
+						return
+					}
+				}
+				// An ID beyond the frontier may legitimately be a plain miss
+				// only while no submitter has reached it; never expired.
+				if _, ok, expired := s.get(fmt.Sprintf("job-%06d", hi+submitters*perWorker+1)); !ok && expired {
+					errs <- "get past the frontier reported expired"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// After the dust settles the bound holds and every allocated ID still
+	// answers ok-or-expired.
+	if got := len(s.jobs); got > maxFinishedJobs+1 {
+		t.Errorf("store holds %d jobs, want <= %d after pruning", got, maxFinishedJobs+1)
+	}
+	for n := int64(1); n <= allocated.Load(); n += 37 {
+		id := fmt.Sprintf("job-%06d", n)
+		if _, ok, expired := s.get(id); !ok && !expired {
+			t.Fatalf("post-race get(%s): allocated ID reported as never existed", id)
+		}
+	}
+}

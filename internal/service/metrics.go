@@ -22,6 +22,9 @@ type metrics struct {
 	flightMerged  *obs.Counter
 	batchCells    *obs.Counter
 	batchFailures *obs.Counter
+	batchRejected *obs.Counter
+	jobsResumed   *obs.Counter
+	replayCells   *obs.Counter
 	latency       *obs.Histogram // rendered as a summary; see obs.Histogram
 }
 
@@ -45,6 +48,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Batch cells processed (served, executed, or failed)."),
 		batchFailures: reg.Counter("ucp_batch_cell_failures_total",
 			"Batch cells that failed (error or panic, isolated per cell)."),
+		batchRejected: reg.Counter("ucp_batch_rejected_total",
+			"Batch submissions refused by admission control (429)."),
+		jobsResumed: reg.Counter("ucp_jobs_resumed_total",
+			"Journaled sweep jobs resumed after a restart."),
+		replayCells: reg.Counter("ucp_journal_replay_cells_total",
+			"Cells answered from the job journal during replay (zero pipeline runs)."),
 		latency: reg.Histogram("ucp_analysis_latency_seconds",
 			"Latency of executed analyses (recent window).", nil, nil),
 	}
@@ -124,6 +133,16 @@ func (m *metrics) countBatchCell(failed bool) {
 		m.batchFailures.Inc()
 	}
 }
+
+// countBatchRejected records one batch refused with 429.
+func (m *metrics) countBatchRejected() { m.batchRejected.Inc() }
+
+// countJobResumed records one journaled job resumed after a restart.
+func (m *metrics) countJobResumed() { m.jobsResumed.Inc() }
+
+// countReplayCell records one cell answered from the journal during
+// replay, with no pipeline run.
+func (m *metrics) countReplayCell() { m.replayCells.Inc() }
 
 // observeAnalysis records one executed (non-cached) analysis.
 func (m *metrics) observeAnalysis(d time.Duration, ok bool) {

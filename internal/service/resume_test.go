@@ -1,0 +1,294 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ucp/internal/faults"
+	"ucp/internal/journal"
+	"ucp/internal/store"
+)
+
+// quietLogger discards logs; resume tests build servers by hand (testServer
+// cannot restart one).
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// resumeSweep is six cells with the two hang-prone bs cells LAST, so a
+// single-worker server deterministically finishes the first four before a
+// fault pins cell 5 — the restart then has exactly 4 journaled cells and 2
+// to re-execute.
+const resumeSweep = `{"programs":["fibcall","fac","bs"],"configs":["k1","k2"],"techs":["45nm"],"runs":1,"validation_budget":20}`
+
+// rawResults extracts the raw bytes of the "results" array from a job
+// status body, for byte-identity comparison across restarts.
+func rawResults(t *testing.T, body []byte) string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := m["results"]
+	if !ok {
+		t.Fatalf("no results in job body: %s", body)
+	}
+	return string(r)
+}
+
+// TestSweepResumeAfterRestart is the tentpole acceptance test: a journaled
+// sweep interrupted mid-run resumes on the next server under its original
+// ID, re-executes only the unfinished cells (the journal answers the rest
+// with zero pipeline runs), and its final results are byte-identical to an
+// uninterrupted run.
+func TestSweepResumeAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "journal")
+	sdir := filepath.Join(dir, "store")
+
+	// Control: the same sweep on a clean, journal-less server.
+	ctlTS, _ := testServer(t, Config{})
+	resp, _ := postJSON(t, ctlTS.URL+"/v1/sweep", resumeSweep)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("control submit: %d", resp.StatusCode)
+	}
+	if st := pollJob(t, ctlTS.URL+"/v1/jobs/job-000001"); st.State != string(jobDone) {
+		t.Fatalf("control job: %+v", st)
+	}
+	_, ctlBody := getBody(t, ctlTS.URL+"/v1/jobs/job-000001")
+	control := rawResults(t, ctlBody)
+
+	// Server 1: one worker (serial cells), journal + store. The bs cells sit
+	// at indexes 4 and 5; the armed delay pins cell 4 until drain, so cells
+	// 0–3 are journaled and 4–5 are not.
+	if err := faults.Arm("service.analyze:bs=delay:30s"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faults.Disarm)
+
+	st1, err := store.Open(sdir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jnl1, err := journal.Open(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1 := New(Config{Workers: 1, Journal: jnl1, Store: st1, Logger: quietLogger()})
+	ts1 := httptest.NewServer(svc1.Handler())
+
+	resp, _ = postJSON(t, ts1.URL+"/v1/sweep", resumeSweep)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, body := getBody(t, ts1.URL+"/v1/jobs/job-000001")
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Done == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached 4 done cells: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// "Crash": drain cancels the pinned cell; the job fails by interrupt
+	// WITHOUT a terminal journal record, which is what makes it resumable.
+	ts1.Close()
+	svc1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	faults.Disarm()
+
+	j1, ok, _ := svc1.jobs.get("job-000001")
+	if !ok || j1.currentState() != jobFailed {
+		t.Fatalf("interrupted job should be failed in the dying process, got %v", j1.currentState())
+	}
+
+	// Server 2: same journal and store directories. Recovery runs inside
+	// New, before the listener exists.
+	st2, err := store.Open(sdir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	jnl2, err := journal.Open(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2 := New(Config{Workers: 2, Journal: jnl2, Store: st2, Logger: quietLogger()})
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer func() { ts2.Close(); svc2.Close() }()
+
+	final := pollJob(t, ts2.URL+"/v1/jobs/job-000001")
+	if final.State != string(jobDone) {
+		t.Fatalf("resumed job: %+v", final)
+	}
+	if !final.Resumed {
+		t.Fatal("resumed job not marked resumed:true")
+	}
+	if final.Done != 6 || final.Failed != 0 {
+		t.Fatalf("resumed job done=%d failed=%d, want 6/0", final.Done, final.Failed)
+	}
+
+	_, body := getBody(t, ts2.URL+"/v1/jobs/job-000001")
+	if got := rawResults(t, body); got != control {
+		t.Errorf("resumed results differ from uninterrupted run:\ncontrol: %s\nresumed: %s", control, got)
+	}
+
+	_, metrics := getBody(t, ts2.URL+"/metrics")
+	if v := metricValue(t, string(metrics), "ucp_jobs_resumed_total"); v != 1 {
+		t.Errorf("ucp_jobs_resumed_total = %v, want 1", v)
+	}
+	if v := metricValue(t, string(metrics), "ucp_journal_replay_cells_total"); v != 4 {
+		t.Errorf("ucp_journal_replay_cells_total = %v, want 4 (cells journaled before the crash)", v)
+	}
+	// Only the two unfinished cells may have touched the pipeline; the four
+	// replayed ones must not (that is the whole point of the journal).
+	if v := metricValue(t, string(metrics), "ucp_analyses_total"); v > 2 {
+		t.Errorf("ucp_analyses_total = %v, want <= 2 (only unfinished cells re-execute)", v)
+	}
+}
+
+// TestJournalReplayTerminalJob: a finished job's results survive a restart
+// and answer /v1/jobs/{id} without any pipeline run.
+func TestJournalReplayTerminalJob(t *testing.T) {
+	jdir := t.TempDir()
+	jnl1, err := journal.Open(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1 := New(Config{Workers: 2, Journal: jnl1, Logger: quietLogger()})
+	ts1 := httptest.NewServer(svc1.Handler())
+
+	sweep := `{"programs":["fibcall"],"configs":["k1"],"techs":["45nm"],"runs":1,"validation_budget":20}`
+	if resp, _ := postJSON(t, ts1.URL+"/v1/sweep", sweep); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if st := pollJob(t, ts1.URL+"/v1/jobs/job-000001"); st.State != string(jobDone) {
+		t.Fatalf("job: %+v", st)
+	}
+	_, wantBody := getBody(t, ts1.URL+"/v1/jobs/job-000001")
+	want := rawResults(t, wantBody)
+	ts1.Close()
+	svc1.Close()
+
+	jnl2, err := journal.Open(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2 := New(Config{Workers: 2, Journal: jnl2, Logger: quietLogger()})
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer func() { ts2.Close(); svc2.Close() }()
+
+	resp, body := getBody(t, ts2.URL+"/v1/jobs/job-000001")
+	if resp.StatusCode != 200 {
+		t.Fatalf("replayed job status: %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != string(jobDone) || st.Done != 1 || st.Resumed {
+		t.Fatalf("replayed terminal job: %+v", st)
+	}
+	if got := rawResults(t, body); got != want {
+		t.Errorf("replayed results differ:\nwant %s\ngot  %s", want, got)
+	}
+	_, metrics := getBody(t, ts2.URL+"/metrics")
+	if v := metricValue(t, string(metrics), "ucp_analyses_total"); v != 0 {
+		t.Errorf("terminal replay ran %v analyses, want 0", v)
+	}
+	// A new submission on the restarted server must continue the sequence,
+	// not collide with the replayed ID.
+	resp, body = postJSON(t, ts2.URL+"/v1/sweep", sweep)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-restart submit: %d", resp.StatusCode)
+	}
+	var sub struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.JobID != "job-000002" {
+		t.Errorf("post-restart job ID = %s, want job-000002", sub.JobID)
+	}
+}
+
+// TestJournalAppendFaultDoesNotFailJob: journaling is a durability
+// upgrade, never a gate — a job whose every append fails still completes.
+func TestJournalAppendFaultDoesNotFailJob(t *testing.T) {
+	jnl, err := journal.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.Arm("journal.append:*=err"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faults.Disarm)
+	ts, _ := testServer(t, Config{Journal: jnl})
+	sweep := `{"programs":["fibcall"],"configs":["k1"],"techs":["45nm"],"runs":1,"validation_budget":20}`
+	if resp, _ := postJSON(t, ts.URL+"/v1/sweep", sweep); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if st := pollJob(t, ts.URL+"/v1/jobs/job-000001"); st.State != string(jobDone) {
+		t.Fatalf("job with failing journal should still finish: %+v", st)
+	}
+}
+
+// TestJournalSeqSurvivesRestart: IDs stay monotonic across a restart even
+// when nothing is left to replay, preserving the expired-404 contract.
+func TestJournalSeqSurvivesRestartAfterPrune(t *testing.T) {
+	jdir := t.TempDir()
+	jnl, err := journal.Open(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate history: the journal once saw job 12, since pruned.
+	w, err := jnl.Begin(t.Context(), "job-000012", time.Now().UTC(), 1, json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Finish(t.Context(), "done", "")
+	if err := jnl.Remove("job-000012"); err != nil {
+		t.Fatal(err)
+	}
+
+	jnl2, err := journal.Open(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, svc := testServer(t, Config{Journal: jnl2})
+	if got := svc.jobs.seq; got != 12 {
+		t.Fatalf("seq seed = %d, want 12", got)
+	}
+	resp, body := getBody(t, ts.URL+"/v1/jobs/job-000005")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if want := fmt.Sprintf("job %q expired", "job-000005"); !json.Valid(body) ||
+		!containsString(body, want) {
+		t.Fatalf("body %s, want expired message %q", body, want)
+	}
+}
+
+func containsString(body []byte, want string) bool {
+	var e apiError
+	if err := json.Unmarshal(body, &e); err != nil {
+		return false
+	}
+	return e.Error == want
+}

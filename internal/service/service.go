@@ -38,6 +38,7 @@ import (
 	"ucp/internal/cache"
 	"ucp/internal/experiment"
 	"ucp/internal/flight"
+	"ucp/internal/journal"
 	"ucp/internal/malardalen"
 	"ucp/internal/obs"
 	"ucp/internal/pool"
@@ -72,6 +73,13 @@ type Config struct {
 	// every replica pointing at the same directory. The Server does not
 	// close the store; its owner (cmd/ucp-serve, tests) does, after Close.
 	Store *store.Store
+	// Journal, when non-nil, makes sweep jobs durable: every submission,
+	// completed cell, and terminal state is appended to a per-job journal,
+	// and New replays the directory — finished jobs come back queryable,
+	// unfinished jobs resume under their original IDs with only their
+	// incomplete cells re-executing (DESIGN.md §14). The Server does not
+	// own the directory's lifecycle; cmd/ucp-serve opens it.
+	Journal *journal.Journal
 	// EnableWorker exposes POST /v1/worker/cell, the raw cell-execution
 	// endpoint a distributed coordinator (internal/dist) fans sweep cells
 	// out to. Off by default: the endpoint returns full experiment.Cell
@@ -130,12 +138,19 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	// The journal's persisted high-water mark seeds the ID sequence, so a
+	// restarted server never re-issues an ID — even one whose journal file
+	// was pruned long ago.
+	seqSeed := 0
+	if cfg.Journal != nil {
+		seqSeed = cfg.Journal.Seq()
+	}
 	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:     cfg,
 		pool:    pool.New(cfg.Workers),
 		cache:   newTieredCache(cfg.CacheEntries, cfg.Store),
-		jobs:    newJobStore(),
+		jobs:    newJobStore(seqSeed),
 		reg:     reg,
 		metrics: newMetrics(reg),
 		log:     cfg.Logger,
@@ -158,6 +173,11 @@ func New(cfg Config) *Server {
 		return context.WithTimeout(s.baseCtx, s.cfg.AnalyzeTimeout)
 	})
 	s.mux = s.routes()
+	// Crash recovery runs last, once the pool, flight group, and base
+	// context exist: unfinished journaled jobs restart here, before the
+	// listener comes up, so a client polling its old job ID never sees a
+	// gap.
+	s.recoverJobs()
 	return s
 }
 

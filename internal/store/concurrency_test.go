@@ -1,0 +1,103 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// ckey derives a valid (lowercase-hex) store key from an integer.
+func ckey(n int) string { return fmt.Sprintf("%064x", n) }
+
+// cpayload is a self-describing JSON payload (the store envelopes
+// json.RawMessage): any torn or cross-wired read surfaces as a mismatch
+// against the key it was fetched under.
+func cpayload(n int) []byte {
+	k := ckey(n)
+	return []byte(fmt.Sprintf(`{"key":%q,"fill":%q}`, k, k+k+k+k+k+k)) // ~480 bytes
+}
+
+// TestStoreConcurrentPutGetEvict (satellite) hammers Put/Get under -race
+// with a budget small enough that eviction runs constantly. Two
+// invariants: a Get that hits returns exactly the bytes written for that
+// key (no torn reads — the checksum envelope must turn any partial write
+// into a miss, never garbage), and a Put never evicts the key it just
+// wrote (the keep guard), so write-then-read on one goroutine always hits.
+func TestStoreConcurrentPutGetEvict(t *testing.T) {
+	// ~4 payloads fit; every few Puts evict.
+	s, err := Open(t.TempDir(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Sequential warm-up pins the keep guard without concurrency noise:
+	// even while older entries fall out, the just-written key must hit.
+	for i := 0; i < 32; i++ {
+		if err := s.Put(ckey(i), cpayload(i)); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := s.Get(ckey(i))
+		if !ok {
+			t.Fatalf("Put(%d) then Get missed: eviction dropped the just-written key", i)
+		}
+		if !bytes.Equal(got, cpayload(i)) {
+			t.Fatalf("Get(%d) returned wrong payload", i)
+		}
+	}
+
+	const (
+		writers   = 4
+		readers   = 4
+		keySpace  = 16
+		perWorker = 150
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, (writers+readers)*perWorker)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := (w*perWorker + i) % keySpace
+				if err := s.Put(ckey(n), cpayload(n)); err != nil {
+					errs <- fmt.Sprintf("Put(%d): %v", n, err)
+					return
+				}
+				// A sibling writer may legitimately evict this key between
+				// our Put and Get; a hit, though, must be byte-exact.
+				if got, ok := s.Get(ckey(n)); ok && !bytes.Equal(got, cpayload(n)) {
+					errs <- fmt.Sprintf("writer %d: torn read on key %d", w, n)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := (r + i) % keySpace
+				// A miss is legal (evicted or not yet written); a hit must be
+				// byte-exact.
+				if got, ok := s.Get(ckey(n)); ok && !bytes.Equal(got, cpayload(n)) {
+					errs <- fmt.Sprintf("reader %d: torn read on key %d (%d bytes)", r, n, len(got))
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// The budget held: the store never reports more bytes than its cap
+	// plus one in-flight entry.
+	if st := s.Stats(); st.Bytes > 4096+int64(len(cpayload(0))) {
+		t.Errorf("store size %d exceeds budget slack", st.Bytes)
+	}
+}
