@@ -51,6 +51,7 @@ func main() {
 		hedge    = flag.Bool("hedge", true, "hedge straggling cells onto a second healthy worker (-worker-urls only)")
 		progress = flag.Bool("progress", false, "print one line per completed cell to stderr")
 		verbose  = flag.Bool("v", false, "print per-cell completion lines (benchmark, config, policy, duration) to stderr via the span recorder")
+		traceDir = flag.String("trace-dir", "", "persist the sweep's span tree to this durable trace-sink directory")
 		out      = flag.String("out", "", "also write the report to this file")
 		csvOut   = flag.String("csv", "", "write the raw per-use-case measurements to this CSV file")
 		l2Sweep  = flag.String("l2s", "", "comma-separated L2 sweep axis (ASSOCxBLOCKxCAPACITY[:policy] or none), e.g. none,4x32x8192")
@@ -134,9 +135,17 @@ func main() {
 
 	// -v hangs per-cell completion lines off the span recorder: every
 	// "experiment.cell" span that ends is one analyzed use case. The same
-	// spans feed ?trace=1 in ucp-serve; here they feed stderr.
+	// spans feed ?trace=1 in ucp-serve; here they feed stderr, and with
+	// -trace-dir the finished tree lands in the durable sink — including
+	// the dist.attempt spans and grafted worker trees of a -worker-urls
+	// sweep, so a distributed run leaves one stitched trace on disk.
+	var rec *obs.Recorder
+	if *verbose || *traceDir != "" {
+		rec = obs.NewRecorder("sweep")
+		ctx = rec.Install(ctx)
+		defer rec.Release()
+	}
 	if *verbose {
-		rec := obs.NewRecorder("sweep")
 		rec.OnEnd = func(name string, d time.Duration, attrs []obs.Attr) {
 			if name != "experiment.cell" {
 				return
@@ -161,8 +170,6 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "%s %v\n", line, d.Round(time.Millisecond))
 		}
-		ctx = rec.Install(ctx)
-		defer rec.Release()
 	}
 
 	start := time.Now()
@@ -173,6 +180,12 @@ func main() {
 			os.Exit(130)
 		}
 		exitOn(err)
+	}
+	if *traceDir != "" {
+		rec.Release() // seal the root span; the deferred second call is a no-op
+		if err := cliutil.SaveTrace(*traceDir, "bench-sweep", rec.Tree()); err != nil {
+			fmt.Fprintln(os.Stderr, "trace sink:", err)
+		}
 	}
 
 	if *csvOut != "" {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ucp-opt -program fdct -config k5 -tech 45nm [-policy lru|fifo|plru] [-budget 700] [-dump] [-explain]
+//	ucp-opt -program fdct -config k5 -tech 45nm -trace [-trace-dir /tmp/traces]
 //	ucp-opt -program fdct -config k1 -l2-assoc 4 -l2-block-bytes 32 -l2-capacity-bytes 8192 -explain
 package main
 
@@ -22,17 +23,20 @@ import (
 	"ucp/internal/energy"
 	"ucp/internal/interrupt"
 	"ucp/internal/isa"
+	"ucp/internal/obs"
 )
 
 func main() {
 	var (
-		program = flag.String("program", "fdct", "benchmark name (see ucp-bench -table 1) or path to a program file (isa asm format)")
-		config  = flag.String("config", "k5", "cache configuration label k1..k36 (see ucp-bench -table 2)")
-		policy  = flag.String("policy", "lru", "cache replacement policy: lru, fifo, or plru")
-		tech    = flag.String("tech", "45nm", "process technology: 45nm or 32nm")
-		budget  = flag.Int("budget", 0, "validation budget (0 = default)")
-		dump    = flag.Bool("dump", false, "dump the optimized program's prefetch instructions")
-		explain = flag.Bool("explain", false, "print the per-candidate decision report (why each prefetch was inserted or rejected)")
+		program  = flag.String("program", "fdct", "benchmark name (see ucp-bench -table 1) or path to a program file (isa asm format)")
+		config   = flag.String("config", "k5", "cache configuration label k1..k36 (see ucp-bench -table 2)")
+		policy   = flag.String("policy", "lru", "cache replacement policy: lru, fifo, or plru")
+		tech     = flag.String("tech", "45nm", "process technology: 45nm or 32nm")
+		budget   = flag.Int("budget", 0, "validation budget (0 = default)")
+		dump     = flag.Bool("dump", false, "dump the optimized program's prefetch instructions")
+		explain  = flag.Bool("explain", false, "print the per-candidate decision report (why each prefetch was inserted or rejected)")
+		trace    = flag.Bool("trace", false, "print the optimization span tree (where the time went)")
+		traceDir = flag.String("trace-dir", "", "persist the optimization span tree to this durable trace-sink directory (implies recording)")
 	)
 	l2Flag := cliutil.L2Flags(nil)
 	flag.Parse()
@@ -68,6 +72,15 @@ func main() {
 	// the exit code is non-zero.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// -trace/-trace-dir record the optimization under a span recorder: the
+	// same "core.optimize" spans that feed ucp-serve's ?trace=1 feed the
+	// terminal here, and the durable sink when -trace-dir is set.
+	var rec *obs.Recorder
+	if *trace || *traceDir != "" {
+		rec = obs.NewRecorder("opt")
+		ctx = rec.Install(ctx)
+	}
 
 	mdl := energy.NewModelHier(h, tn)
 	opt, rep, err := core.OptimizeHier(ctx, prog, h, core.Options{
@@ -121,6 +134,17 @@ func main() {
 	fmt.Printf("WCET-scenario fetches %d -> %d (%+.2f%%)\n",
 		rep.FetchesBefore, rep.FetchesAfter,
 		100*(float64(rep.FetchesAfter)/float64(rep.FetchesBefore)-1))
+
+	if rec != nil {
+		rec.Release()
+		if *trace {
+			fmt.Println("\ntrace (span, wall time, attributes):")
+			cliutil.PrintSpanTree(os.Stdout, rec.Tree(), 1)
+		}
+		if err := cliutil.SaveTrace(*traceDir, "opt-"+label, rec.Tree()); err != nil {
+			fmt.Fprintln(os.Stderr, "trace sink:", err)
+		}
+	}
 
 	if *explain {
 		fmt.Println("\ndecision report (candidate → verdict):")

@@ -9,6 +9,10 @@
 //	ucp-serve -addr :8080 -store-dir /var/lib/ucp/results   # restart-proof cache
 //	ucp-serve -addr :8080 -journal-dir /var/lib/ucp/jobs    # crash-recoverable sweep jobs
 //	ucp-serve -addr :8081 -worker                           # worker replica
+//	ucp-serve -addr :8080 -worker-urls http://w1:8081,http://w2:8081
+//	                                                        # coordinator: cells run on replicas
+//	ucp-serve -addr :8080 -trace-dir /var/lib/ucp/traces -trace-sample 0.01
+//	                                                        # durable trace/event sink
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/analyze \
 //	     -d '{"program":"crc","config":"k14","tech":"45nm"}'
@@ -28,10 +32,13 @@ import (
 	_ "net/http/pprof" // registers on DefaultServeMux, served only when -pprof is enabled
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"ucp/internal/dist"
 	"ucp/internal/journal"
+	"ucp/internal/obs"
 	"ucp/internal/service"
 	"ucp/internal/store"
 )
@@ -48,6 +55,11 @@ func main() {
 		storeMax = flag.Int64("store-max-bytes", store.DefaultMaxBytes, "persistent result-store size bound in bytes")
 		jrnlDir  = flag.String("journal-dir", "", "job-journal directory; sweep jobs survive a crash and resume on restart (empty disables)")
 		worker   = flag.Bool("worker", false, "expose POST /v1/worker/cell for a distributed coordinator")
+		workerAt = flag.String("worker-urls", "", "comma-separated worker base URLs (ucp-serve -worker); cells dispatch to replicas instead of running in-process")
+		probeIvl = flag.Duration("probe-interval", 2*time.Second, "worker health-probe interval for -worker-urls (0 disables the prober)")
+		traceDir = flag.String("trace-dir", "", "durable trace/event sink directory; empty keeps traces response-only")
+		traceSmp = flag.Float64("trace-sample", 0, "head-sampling rate [0..1] for persisting successful request traces (failed and slow requests always persist)")
+		traceMax = flag.Int64("trace-max-bytes", obs.DefaultSinkMaxBytes, "trace-sink segment size bound in bytes before rotation")
 		pprofAt  = flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
 		logJSON  = flag.Bool("log-json", false, "emit request logs as JSON lines instead of logfmt-style text")
 	)
@@ -101,7 +113,44 @@ func main() {
 		}
 		logger.Info("job journal open", "dir", *jrnlDir, "seq", jnl.Seq())
 	}
-	svc := service.New(service.Config{
+	// The trace sink outlives the service for the same reason the store
+	// does: the drain's last traced requests must land durably before the
+	// process exits.
+	var sink *obs.Sink
+	if *traceDir != "" {
+		var err error
+		sink, err = obs.OpenSink(*traceDir, *traceMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		logger.Info("trace sink open", "dir", *traceDir, "sample", *traceSmp)
+	}
+	// -worker-urls turns this replica into a coordinator: sweep cells and
+	// analyze requests execute on the listed workers via internal/dist,
+	// with traceparent and X-Request-Id propagated on every dispatch.
+	var coord *dist.Coordinator
+	if *workerAt != "" {
+		var urls []string
+		for _, u := range strings.Split(*workerAt, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		var err error
+		coord, err = dist.New(dist.Options{
+			Workers:       urls,
+			ProbeInterval: *probeIvl,
+			Hedge:         true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer coord.Close()
+		logger.Info("coordinator mode", "workers", len(urls))
+	}
+	cfg := service.Config{
 		Workers:      *workers,
 		CacheEntries: *entries,
 		MaxBodyBytes: *maxBody,
@@ -109,8 +158,14 @@ func main() {
 		Store:        st,
 		Journal:      jnl,
 		EnableWorker: *worker,
+		TraceSink:    sink,
+		TraceSample:  *traceSmp,
 		Logger:       logger,
-	})
+	}
+	if coord != nil {
+		cfg.CellExec = coord.Exec
+	}
+	svc := service.New(cfg)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -152,6 +207,9 @@ func main() {
 		if err := st.Close(); err != nil {
 			logger.Error("store close", "err", err)
 		}
+	}
+	if err := sink.Close(); err != nil {
+		logger.Error("trace sink close", "err", err)
 	}
 	logger.Info("bye")
 }

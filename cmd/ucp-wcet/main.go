@@ -6,6 +6,7 @@
 // Usage:
 //
 //	ucp-wcet -program crc -config k14 -tech 45nm [-policy lru|fifo|plru] [-ilp] [-contexts] [-trace]
+//	ucp-wcet -program crc -config k14 -tech 45nm -trace-dir /tmp/traces   # durable span tree
 //	ucp-wcet -program crc -config k1 -l2-assoc 4 -l2-block-bytes 32 -l2-capacity-bytes 8192
 package main
 
@@ -14,8 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strings"
 
 	"ucp/internal/absint"
 	"ucp/internal/cache"
@@ -35,6 +34,7 @@ func main() {
 		ilpCheck = flag.Bool("ilp", false, "cross-check the structural solver against the IPET ILP")
 		contexts = flag.Bool("contexts", false, "print the per-context classification table")
 		trace    = flag.Bool("trace", false, "print the pipeline span tree (where the analysis time went)")
+		traceDir = flag.String("trace-dir", "", "persist the analysis span tree to this durable trace-sink directory (implies recording)")
 	)
 	l2Flag := cliutil.L2Flags(nil)
 	flag.Parse()
@@ -68,7 +68,7 @@ func main() {
 	mdl := energy.NewModelHier(h, tn)
 	ctx := context.Background()
 	var rec *obs.Recorder
-	if *trace {
+	if *trace || *traceDir != "" {
 		rec = obs.NewRecorder("wcet")
 		ctx = rec.Install(ctx)
 	}
@@ -151,8 +151,13 @@ func main() {
 
 	if rec != nil {
 		rec.Release()
-		fmt.Println("\ntrace (span, wall time, attributes):")
-		printSpanTree(rec.Tree(), 1)
+		if *trace {
+			fmt.Println("\ntrace (span, wall time, attributes):")
+			cliutil.PrintSpanTree(os.Stdout, rec.Tree(), 1)
+		}
+		if err := cliutil.SaveTrace(*traceDir, "wcet-"+b.Name, rec.Tree()); err != nil {
+			fmt.Fprintln(os.Stderr, "trace sink:", err)
+		}
 	}
 
 	if *contexts {
@@ -180,26 +185,4 @@ func pct(a, b int64) float64 {
 		return 0
 	}
 	return 100 * float64(a) / float64(b)
-}
-
-// printSpanTree renders a span tree indented, attributes sorted so the
-// output is stable.
-func printSpanTree(t *obs.SpanTree, depth int) {
-	fmt.Printf("%s%-16s %8.3fms", strings.Repeat("  ", depth), t.Name,
-		float64(t.DurationUS)/1000)
-	keys := make([]string, 0, len(t.Attrs))
-	for k := range t.Attrs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Printf("  %s=%v", k, t.Attrs[k])
-	}
-	if t.Dropped > 0 {
-		fmt.Printf("  dropped_children=%d", t.Dropped)
-	}
-	fmt.Println()
-	for _, c := range t.Children {
-		printSpanTree(c, depth+1)
-	}
 }

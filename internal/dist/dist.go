@@ -96,6 +96,8 @@ var (
 		"Transport errors and 5xx responses, by worker.", "worker")
 	distHedges = obs.NewCounter("ucp_dist_hedges_total",
 		"Straggler cells re-issued to a second worker (hedged dispatch).")
+	distCellSeconds = obs.NewHistogramVec("ucp_dist_cell_seconds",
+		"Successful cell dispatch latency by worker, in seconds.", "worker", nil, nil)
 )
 
 // breakerState is a worker's circuit-breaker position. The numeric values
@@ -383,6 +385,14 @@ type cellL2Request struct {
 	Policy        string `json:"policy,omitempty"`
 }
 
+// cellResponse mirrors the worker endpoint's response envelope
+// (service.workerCellResponse): the measured cell plus, when the dispatch
+// carried a traceparent, the worker's serialized span tree for stitching.
+type cellResponse struct {
+	Cell  experiment.Cell `json:"cell"`
+	Trace *obs.SpanTree   `json:"trace,omitempty"`
+}
+
 // permanentError is a worker answer that retrying cannot change.
 type permanentError struct {
 	status int
@@ -445,7 +455,7 @@ func (c *Coordinator) Exec(ctx context.Context, b malardalen.Benchmark, cfgIdx i
 			return experiment.Cell{}, interrupt.Cause(ctx)
 		}
 
-		cell, err := c.attempt(ctx, body)
+		cell, err := c.attempt(ctx, body, attempt)
 		if err == nil {
 			distCells.Inc()
 			return cell, nil
@@ -479,6 +489,7 @@ func (c *Coordinator) settle(w *worker, err error, elapsed time.Duration) {
 	if err == nil {
 		w.onSuccess()
 		c.lat.observe(elapsed)
+		distCellSeconds.With(w.url).Observe(elapsed.Seconds())
 		return
 	}
 	if interrupt.Is(err) {
@@ -497,12 +508,12 @@ func (c *Coordinator) settle(w *worker, err error, elapsed time.Duration) {
 // hedge delay is raced against a second healthy worker on a shared
 // cancelable context: the first success cancels the other request, whose
 // canceled error is never charged to its worker.
-func (c *Coordinator) attempt(ctx context.Context, body []byte) (experiment.Cell, error) {
+func (c *Coordinator) attempt(ctx context.Context, body []byte, attemptNo int) (experiment.Cell, error) {
 	w := c.pick(nil)
 	start := time.Now()
 	delay, hedge := c.hedgeAfter()
 	if !hedge {
-		cell, err := c.post(ctx, w, body)
+		cell, err := c.dispatch(ctx, w, body, attemptNo, false)
 		c.settle(w, err, time.Since(start))
 		return cell, err
 	}
@@ -516,13 +527,13 @@ func (c *Coordinator) attempt(ctx context.Context, body []byte) (experiment.Cell
 		w    *worker
 	}
 	ch := make(chan outcome, 2)
-	launch := func(lw *worker) {
+	launch := func(lw *worker, hedged bool) {
 		go func() {
-			cell, err := c.post(actx, lw, body)
+			cell, err := c.dispatch(actx, lw, body, attemptNo, hedged)
 			ch <- outcome{cell: cell, err: err, w: lw}
 		}()
 	}
-	launch(w)
+	launch(w, false)
 	pending := 1
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
@@ -533,7 +544,7 @@ func (c *Coordinator) attempt(ctx context.Context, body []byte) (experiment.Cell
 			if w2 := c.pickHealthy(w); w2 != nil {
 				distHedges.Inc()
 				pending++
-				launch(w2)
+				launch(w2, true)
 			}
 		case o := <-ch:
 			pending--
@@ -663,40 +674,68 @@ func (c *Coordinator) pickHealthy(exclude *worker) *worker {
 // error message.
 const maxErrorBody = 4 << 10
 
-// post performs one attempt against one worker.
-func (c *Coordinator) post(ctx context.Context, w *worker, body []byte) (experiment.Cell, error) {
+// dispatch runs one post under a "dist.attempt" span, so retries and
+// hedges appear as sibling spans under the cell's dispatch span, tagged
+// with the attempt ordinal and whether this is the hedged duplicate. The
+// worker's returned span tree (present when the request carried a
+// traceparent) is grafted under the attempt span — the stitch that makes
+// one trace span both processes.
+func (c *Coordinator) dispatch(ctx context.Context, w *worker, body []byte, attemptNo int, hedged bool) (experiment.Cell, error) {
+	ctx, sp := obs.Start(ctx, "dist.attempt")
+	sp.Attr("worker", w.url)
+	sp.Attr("attempt", attemptNo)
+	sp.Attr("hedge", hedged)
+	defer sp.End()
+	cell, tree, err := c.post(ctx, w, body)
+	if err != nil {
+		sp.Attr("error", true)
+	}
+	sp.AttachTree(tree)
+	return cell, err
+}
+
+// post performs one attempt against one worker. The current span identity
+// and request ID travel with the request (traceparent / X-Request-Id), so
+// the worker's trace and logs correlate with the coordinator's.
+func (c *Coordinator) post(ctx context.Context, w *worker, body []byte) (experiment.Cell, *obs.SpanTree, error) {
 	defer w.release()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		w.url+"/v1/worker/cell", bytes.NewReader(body))
 	if err != nil {
-		return experiment.Cell{}, err
+		return experiment.Cell{}, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tp := obs.Traceparent(ctx); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	if rid := obs.RequestIDFrom(ctx); rid != "" {
+		req.Header.Set("X-Request-Id", rid)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			return experiment.Cell{}, interrupt.Cause(ctx)
+			return experiment.Cell{}, nil, interrupt.Cause(ctx)
 		}
-		return experiment.Cell{}, fmt.Errorf("dist: %s: %w", w.url, err)
+		return experiment.Cell{}, nil, fmt.Errorf("dist: %s: %w", w.url, err)
 	}
 	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		var cell experiment.Cell
-		if err := json.NewDecoder(resp.Body).Decode(&cell); err != nil {
+		var env cellResponse
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 			// A torn response (worker died mid-write) is transient: the
 			// cell is deterministic, another replica recomputes it.
-			return experiment.Cell{}, fmt.Errorf("dist: %s: decode cell: %w", w.url, err)
+			return experiment.Cell{}, nil, fmt.Errorf("dist: %s: decode cell: %w", w.url, err)
 		}
-		return cell, nil
+		return env.Cell, env.Trace, nil
 	case resp.StatusCode >= 400 && resp.StatusCode < 500:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
-		return experiment.Cell{}, &permanentError{status: resp.StatusCode, body: strings.TrimSpace(string(msg))}
+		return experiment.Cell{}, nil, &permanentError{status: resp.StatusCode, body: strings.TrimSpace(string(msg))}
 	default:
 		// 5xx: the worker is draining, overloaded, or broke on this cell;
 		// 503/504 in particular mean "try a sibling".
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
-		return experiment.Cell{}, fmt.Errorf("dist: %s: status %d: %s",
+		return experiment.Cell{}, nil, fmt.Errorf("dist: %s: status %d: %s",
 			w.url, resp.StatusCode, strings.TrimSpace(string(msg)))
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"ucp/internal/cache"
 	"ucp/internal/core"
@@ -296,7 +297,9 @@ func RunCell(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energ
 		Tech:     tech,
 	}
 
+	phase := time.Now()
 	opt, rep, err := core.OptimizeHier(ctx, b.Prog, h, core.Options{Par: par, ValidationBudget: o.ValidationBudget, Explain: o.Explain})
+	phaseSeconds.With("optimize").Observe(time.Since(phase).Seconds())
 	if err != nil {
 		return cell, err
 	}
@@ -313,8 +316,10 @@ func RunCell(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energ
 		runs = 3
 	}
 	so := sim.Options{Par: par, Seed: 7, Runs: runs}
+	phase = time.Now()
 	sOrig := sim.RunHier(b.Prog, h, so)
 	sOpt := sim.RunHier(opt, h, so)
+	phaseSeconds.With("simulate").Observe(time.Since(phase).Seconds())
 
 	// Conditions 2 and 3 (Section 2.3): a transformation that increases the
 	// measured ACET or the measured memory energy is rejected wholesale.
@@ -352,6 +357,8 @@ func RunCell(ctx context.Context, b malardalen.Benchmark, cfgIdx int, tech energ
 	// compare against the original binary on the full-size cache — the
 	// "smaller caches through prefetching" experiment.
 	if !o.SkipReduced {
+		phase = time.Now()
+		defer func() { phaseSeconds.With("reduced").Observe(time.Since(phase).Seconds()) }()
 		tau, acet, e, ok, err := reducedRun(ctx, b, h, 2, tech, o)
 		if err != nil {
 			return cell, err
@@ -413,6 +420,12 @@ var (
 		"Simulated cache hits of the shipped binary, by cache level.", "level")
 	levelMisses = obs.NewCounterVec("ucp_cache_level_misses_total",
 		"Simulated cache misses of the shipped binary, by cache level.", "level")
+	// phaseSeconds times each pipeline phase once per cell — deliberately
+	// coarse (one Observe per phase, not per inner iteration) so the
+	// disabled-tracing fast path of the cell stays unmeasurable against the
+	// seconds-long phases themselves.
+	phaseSeconds = obs.NewHistogramVec("ucp_phase_seconds",
+		"Wall-clock pipeline phase duration per cell, by phase, in seconds.", "phase", nil, nil)
 )
 
 // recordLevelTallies publishes the per-level hit/miss counts of the

@@ -37,7 +37,8 @@
 // worker.cell (key = program/config/tech, fired by the worker replica's
 // cell endpoint), absint.round (key = "", one hook per cyclic-component
 // restart round), journal.append (key = job ID, fired before every job
-// journal write), and dist.probe (key = worker URL, fired by the
+// journal write), trace.append (key = trace ID, fired before every trace
+// sink write), and dist.probe (key = worker URL, fired by the
 // coordinator's health prober — arming it "kills" a worker from the
 // prober's point of view without touching the real server).
 package faults

@@ -58,6 +58,7 @@ type record struct {
 	// cell / cellfail fields.
 	Index  int             `json:"index,omitempty"`
 	Cached bool            `json:"cached,omitempty"`
+	DurMS  int64           `json:"dur_ms,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
 
@@ -69,6 +70,10 @@ type record struct {
 // Cell is one replayed completed cell.
 type Cell struct {
 	Cached bool
+	// DurMS is the cell's wall-clock analysis duration in milliseconds
+	// (0 for records written before the field existed, or cache hits fast
+	// enough to round down). Resume seeds its ETA estimate from it.
+	DurMS  int64
 	Result json.RawMessage
 }
 
@@ -334,7 +339,7 @@ func (l *Journal) replayFile(path, id string) (Job, bool) {
 				j.Skipped++
 				continue
 			}
-			j.Cells[r.Index] = Cell{Cached: r.Cached, Result: append(json.RawMessage(nil), r.Result...)}
+			j.Cells[r.Index] = Cell{Cached: r.Cached, DurMS: r.DurMS, Result: append(json.RawMessage(nil), r.Result...)}
 			delete(j.Failures, r.Index)
 		case "cellfail":
 			if !submitted || r.Index < 0 || r.Index >= j.Total {
@@ -402,9 +407,11 @@ func (w *Writer) append(ctx context.Context, r record) error {
 }
 
 // Cell records one completed cell: its index in the deterministic sweep
-// order, whether it was served from a cache, and its full result payload.
-func (w *Writer) Cell(ctx context.Context, index int, cached bool, result json.RawMessage) error {
-	return w.append(ctx, record{Type: "cell", Index: index, Cached: cached, Result: result})
+// order, whether it was served from a cache, how long its analysis took,
+// and its full result payload. The duration is informational — resume uses
+// it to seed the remaining-cells ETA — so a zero is always acceptable.
+func (w *Writer) Cell(ctx context.Context, index int, cached bool, dur time.Duration, result json.RawMessage) error {
+	return w.append(ctx, record{Type: "cell", Index: index, Cached: cached, DurMS: dur.Milliseconds(), Result: result})
 }
 
 // CellFailed records one cell whose analysis errored (the job continues;

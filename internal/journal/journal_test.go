@@ -40,10 +40,10 @@ func TestJournalRoundTrip(t *testing.T) {
 	}
 	ctx := context.Background()
 	w := mustBegin(t, l, "job-000001", 3)
-	if err := w.Cell(ctx, 0, false, json.RawMessage(`{"program":"fibcall","wcet_orig":42}`)); err != nil {
+	if err := w.Cell(ctx, 0, false, 1500*time.Millisecond, json.RawMessage(`{"program":"fibcall","wcet_orig":42}`)); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Cell(ctx, 2, true, json.RawMessage(`{"program":"fac"}`)); err != nil {
+	if err := w.Cell(ctx, 2, true, 0, json.RawMessage(`{"program":"fac"}`)); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.CellFailed(ctx, 1, "boom"); err != nil {
@@ -59,6 +59,9 @@ func TestJournalRoundTrip(t *testing.T) {
 	}
 	if len(j.Cells) != 2 || j.Cells[0].Cached || !j.Cells[2].Cached {
 		t.Fatalf("bad cells: %+v", j.Cells)
+	}
+	if j.Cells[0].DurMS != 1500 || j.Cells[2].DurMS != 0 {
+		t.Fatalf("durations lost in replay: %+v", j.Cells)
 	}
 	if !strings.Contains(string(j.Cells[0].Result), `"wcet_orig":42`) {
 		t.Fatalf("cell 0 result lost: %s", j.Cells[0].Result)
@@ -85,10 +88,10 @@ func TestJournalTornTailTolerated(t *testing.T) {
 	}
 	ctx := context.Background()
 	w := mustBegin(t, l, "job-000001", 4)
-	if err := w.Cell(ctx, 0, false, json.RawMessage(`{"a":1}`)); err != nil {
+	if err := w.Cell(ctx, 0, false, 0, json.RawMessage(`{"a":1}`)); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Cell(ctx, 1, false, json.RawMessage(`{"a":2}`)); err != nil {
+	if err := w.Cell(ctx, 1, false, 0, json.RawMessage(`{"a":2}`)); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
@@ -122,7 +125,7 @@ func TestJournalCorruptMidFileSkipsLine(t *testing.T) {
 	}
 	ctx := context.Background()
 	w := mustBegin(t, l, "job-000001", 2)
-	if err := w.Cell(ctx, 0, false, json.RawMessage(`{"a":1}`)); err != nil {
+	if err := w.Cell(ctx, 0, false, 0, json.RawMessage(`{"a":1}`)); err != nil {
 		t.Fatal(err)
 	}
 	w.Close()
@@ -202,7 +205,7 @@ func TestJournalResumeMarker(t *testing.T) {
 	}
 	ctx := context.Background()
 	w := mustBegin(t, l, "job-000001", 3)
-	if err := w.Cell(ctx, 0, false, json.RawMessage(`{"a":1}`)); err != nil {
+	if err := w.Cell(ctx, 0, false, 0, json.RawMessage(`{"a":1}`)); err != nil {
 		t.Fatal(err)
 	}
 	w.Close() // crash: no terminal record
@@ -211,10 +214,10 @@ func TestJournalResumeMarker(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Resume: %v", err)
 	}
-	if err := w2.Cell(ctx, 1, false, json.RawMessage(`{"a":2}`)); err != nil {
+	if err := w2.Cell(ctx, 1, false, 0, json.RawMessage(`{"a":2}`)); err != nil {
 		t.Fatal(err)
 	}
-	if err := w2.Cell(ctx, 2, false, json.RawMessage(`{"a":3}`)); err != nil {
+	if err := w2.Cell(ctx, 2, false, 0, json.RawMessage(`{"a":3}`)); err != nil {
 		t.Fatal(err)
 	}
 	if err := w2.Finish(ctx, "done", ""); err != nil {
@@ -287,11 +290,11 @@ func TestJournalAppendFaultSite(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(faults.Disarm)
-	if err := w.Cell(ctx, 0, false, json.RawMessage(`{"a":1}`)); err == nil {
+	if err := w.Cell(ctx, 0, false, 0, json.RawMessage(`{"a":1}`)); err == nil {
 		t.Fatal("armed journal.append fault did not fire")
 	}
 	faults.Disarm()
-	if err := w.Cell(ctx, 0, false, json.RawMessage(`{"a":1}`)); err != nil {
+	if err := w.Cell(ctx, 0, false, 0, json.RawMessage(`{"a":1}`)); err != nil {
 		t.Fatalf("append after disarm: %v", err)
 	}
 	if err := w.Finish(ctx, "done", ""); err != nil {

@@ -39,7 +39,8 @@ type family struct {
 	counter  *Counter
 	vec      map[string]*Counter // CounterVec children by label value
 	hist     *Histogram
-	pull     func() []Sample // gauge/counter funcs, evaluated at render
+	histVec  map[string]*Histogram // HistogramVec children by label value
+	pull     func() []Sample       // gauge/counter funcs, evaluated at render
 	pullable bool
 }
 
@@ -176,38 +177,50 @@ const histWindow = 1024
 // as a Prometheus summary — quantile series, _sum, and _count — so the
 // series names predating the registry stay stable; the bucket counts are
 // available programmatically via Snapshot.
+//
+// Observe is designed for hot paths (per-phase and per-dispatch latency):
+// the bucket counters, count, and sum are atomics, and only the quantile
+// ring takes a mutex — one that Snapshot shares, so a concurrent
+// Observe/Snapshot pair can never tear the window (the ring's position
+// and fill counters move only under ringMu).
 type Histogram struct {
-	mu      sync.Mutex
-	bounds  []float64 // bucket upper bounds, ascending
-	buckets []int64   // buckets[i] counts observations <= bounds[i]; last = +Inf
-	count   int64
-	sum     float64
+	bounds  []float64      // bucket upper bounds, ascending; immutable
+	buckets []atomic.Int64 // buckets[i] counts observations <= bounds[i]; last = +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated via math.Float64bits
 
-	quantiles []float64
-	ring      [histWindow]float64
-	pos, n    int
+	quantiles []float64 // immutable after registration
+
+	ringMu sync.Mutex
+	ring   [histWindow]float64
+	pos, n int
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
+	idx := len(h.buckets) - 1 // +Inf
 	for i, b := range h.bounds {
 		if v <= b {
-			h.buckets[i]++
+			idx = i
 			break
 		}
 	}
-	if len(h.bounds) == 0 || v > h.bounds[len(h.bounds)-1] {
-		h.buckets[len(h.buckets)-1]++
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
 	}
-	h.count++
-	h.sum += v
+	h.ringMu.Lock()
 	h.ring[h.pos] = v
 	h.pos = (h.pos + 1) % histWindow
 	if h.n < histWindow {
 		h.n++
 	}
-	h.mu.Unlock()
+	h.ringMu.Unlock()
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram's state.
@@ -223,17 +236,20 @@ type HistogramSnapshot struct {
 // Snapshot returns the histogram's current state, including the
 // nearest-rank quantile estimates over the recent-observation window.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	h.mu.Lock()
 	s := HistogramSnapshot{
 		Bounds:    append([]float64(nil), h.bounds...),
-		Buckets:   append([]int64(nil), h.buckets...),
-		Count:     h.count,
-		Sum:       h.sum,
+		Buckets:   make([]int64, len(h.buckets)),
 		Quantiles: append([]float64(nil), h.quantiles...),
 	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	h.ringMu.Lock()
 	window := make([]float64, h.n)
 	copy(window, h.ring[:h.n])
-	h.mu.Unlock()
+	h.ringMu.Unlock()
 
 	s.Values = make([]float64, len(s.Quantiles))
 	if len(window) == 0 {
@@ -265,6 +281,22 @@ func nearestRank(q float64, n int) int {
 // cache hits up through multi-minute sweeps.
 var DefBuckets = []float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 30, 60, 120}
 
+// newHistogram builds one histogram instrument, applying the registry
+// defaults (DefBuckets; 0.5 and 0.99 quantiles).
+func newHistogram(buckets, quantiles []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	if quantiles == nil {
+		quantiles = []float64{0.5, 0.99}
+	}
+	return &Histogram{
+		bounds:    append([]float64(nil), buckets...),
+		buckets:   make([]atomic.Int64, len(buckets)+1),
+		quantiles: append([]float64(nil), quantiles...),
+	}
+}
+
 // Histogram registers (or finds) a histogram family. buckets are the
 // cumulative upper bounds (nil = DefBuckets); quantiles are the summary
 // quantiles rendered to the exposition (nil = 0.5 and 0.99).
@@ -273,19 +305,43 @@ func (r *Registry) Histogram(name, help string, buckets, quantiles []float64) *H
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.hist == nil {
-		if buckets == nil {
-			buckets = DefBuckets
-		}
-		if quantiles == nil {
-			quantiles = []float64{0.5, 0.99}
-		}
-		f.hist = &Histogram{
-			bounds:    append([]float64(nil), buckets...),
-			buckets:   make([]int64, len(buckets)+1),
-			quantiles: append([]float64(nil), quantiles...),
-		}
+		f.hist = newHistogram(buckets, quantiles)
 	}
 	return f.hist
+}
+
+// HistogramVec is a histogram family with one label dimension — one
+// summary (quantiles, _sum, _count) per label value, e.g. per-phase or
+// per-worker latency.
+type HistogramVec struct {
+	f         *family
+	buckets   []float64
+	quantiles []float64
+}
+
+// With returns the child histogram for one label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	h, ok := v.f.histVec[value]
+	if !ok {
+		h = newHistogram(v.buckets, v.quantiles)
+		v.f.histVec[value] = h
+	}
+	return h
+}
+
+// HistogramVec registers (or finds) a labeled histogram family. buckets
+// and quantiles follow the Histogram defaults and apply to every child.
+func (r *Registry) HistogramVec(name, help, labelKey string, buckets, quantiles []float64) *HistogramVec {
+	f := r.register(name, help, "summary", labelKey)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.histVec == nil {
+		f.histVec = map[string]*Histogram{}
+	}
+	return &HistogramVec{f: f, buckets: buckets, quantiles: quantiles}
 }
 
 // Package-level helpers registering into the Global registry — the form
@@ -312,4 +368,9 @@ func NewGaugeVecFunc(name, help, labelKey string, fn func() []Sample) {
 // NewHistogram registers a histogram in the Global registry.
 func NewHistogram(name, help string, buckets, quantiles []float64) *Histogram {
 	return global.Histogram(name, help, buckets, quantiles)
+}
+
+// NewHistogramVec registers a labeled histogram in the Global registry.
+func NewHistogramVec(name, help, labelKey string, buckets, quantiles []float64) *HistogramVec {
+	return global.HistogramVec(name, help, labelKey, buckets, quantiles)
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -125,6 +126,87 @@ func TestHistogramQuantilesAndBuckets(t *testing.T) {
 	}
 	if s.Values[1] != 10 {
 		t.Fatalf("p99 over 1..10 = %g, want 10 (round half-up)", s.Values[1])
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot hammers one histogram from
+// writer and reader goroutines; -race verifies the quantile window and
+// the atomic counters never tear.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hammer_seconds", "h", []float64{0.5, 1}, nil)
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				var inBuckets int64
+				for _, b := range s.Buckets {
+					inBuckets += b
+				}
+				if inBuckets != s.Count {
+					t.Errorf("bucket total %d != count %d", inBuckets, s.Count)
+					return
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(i%3) * 0.6)
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+}
+
+func TestHistogramVecRendersPerLabel(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("ucp_cell_seconds", "Per-worker cell latency.", "worker", []float64{1}, []float64{0.5})
+	v.With("w1").Observe(0.25)
+	v.With("w1").Observe(0.75)
+	v.With("w2").Observe(2)
+	if v.With("w1") != v.With("w1") {
+		t.Fatal("With must return the same child for the same label")
+	}
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP ucp_cell_seconds Per-worker cell latency.
+# TYPE ucp_cell_seconds summary
+ucp_cell_seconds{worker="w1",quantile="0.5"} 0.750000
+ucp_cell_seconds_sum{worker="w1"} 1.000000
+ucp_cell_seconds_count{worker="w1"} 2
+ucp_cell_seconds{worker="w2",quantile="0.5"} 2.000000
+ucp_cell_seconds_sum{worker="w2"} 2.000000
+ucp_cell_seconds_count{worker="w2"} 1
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if err := Lint(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("labeled histogram exposition fails lint: %v", err)
 	}
 }
 

@@ -69,6 +69,22 @@ func (f *family) render(w *errWriter) {
 		}
 	case f.counter != nil:
 		w.printf("%s %d\n", f.name, f.counter.Value())
+	case f.histVec != nil:
+		values := make([]string, 0, len(f.histVec))
+		for v := range f.histVec {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		for _, v := range values {
+			snap := f.histVec[v].Snapshot()
+			lv := escapeLabel(v)
+			for i, q := range snap.Quantiles {
+				w.printf("%s{%s=\"%s\",quantile=%q} %.6f\n", f.name, f.labelKey, lv,
+					strconv.FormatFloat(q, 'g', -1, 64), snap.Values[i])
+			}
+			w.printf("%s_sum{%s=\"%s\"} %.6f\n", f.name, f.labelKey, lv, snap.Sum)
+			w.printf("%s_count{%s=\"%s\"} %d\n", f.name, f.labelKey, lv, snap.Count)
+		}
 	case f.hist != nil:
 		snap := f.hist.Snapshot()
 		for i, q := range snap.Quantiles {

@@ -1,0 +1,30 @@
+package obs
+
+import "runtime"
+
+// Go runtime health gauges, registered process-wide at init so every
+// binary that renders the Global registry (ucp-serve /metrics, worker
+// replicas) exposes them without wiring. All three are pulled at render
+// time — a scrape pays the ReadMemStats, idle processes pay nothing.
+func init() {
+	global.GaugeFunc("ucp_go_goroutines",
+		"Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	global.GaugeFunc("ucp_go_heap_bytes",
+		"Heap bytes currently allocated and in use.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	global.GaugeFunc("ucp_go_gc_pause_seconds",
+		"Cumulative stop-the-world GC pause time in seconds.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.PauseTotalNs) / 1e9
+		})
+	global.GaugeVecFunc("ucp_build_info",
+		"Build metadata; the value is always 1.", "go_version",
+		func() []Sample { return []Sample{{Label: runtime.Version(), Value: 1}} })
+}

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ucp/internal/faults"
+)
+
+// This file is the durable half of tracing: an append-only NDJSON sink
+// that persists sampled span trees and operational events per process, so
+// a trace survives the request — and the crash — instead of living only
+// in a ?trace=1 response body.
+//
+// Durability follows the journal's discipline: every append is one write
+// followed by fsync, and reads are corruption-tolerant — a torn final
+// line (crash mid-append) or an unparsable line is skipped, never fatal,
+// because a trace log is an operational aid, not a system of record.
+// Growth is bounded by size-based rotation: the active file rolls over to
+// a numbered segment and the oldest segments are pruned.
+
+// DefaultSinkMaxBytes bounds one sink segment before rotation.
+const DefaultSinkMaxBytes = 8 << 20
+
+// sinkKeepSegments is how many rotated segments survive pruning; with the
+// active file, the sink holds at most (sinkKeepSegments+1) × maxBytes.
+const sinkKeepSegments = 4
+
+// sinkActive is the segment currently appended to.
+const sinkActive = "trace.ndjson"
+
+// SinkRecord is one NDJSON line of the trace sink: either a completed
+// span tree ("trace") or a point event ("event").
+type SinkRecord struct {
+	Kind string    `json:"kind"`
+	Time time.Time `json:"time"`
+	// RequestID correlates the record with the request logs of every
+	// replica that touched the request.
+	RequestID string         `json:"request_id,omitempty"`
+	TraceID   string         `json:"trace_id,omitempty"`
+	Event     string         `json:"event,omitempty"`
+	Attrs     map[string]any `json:"attrs,omitempty"`
+	Trace     *SpanTree      `json:"trace,omitempty"`
+}
+
+// Sink is one process's durable trace/event log. Safe for concurrent use;
+// a nil *Sink is valid and inert, so callers need no "is tracing durable"
+// guards.
+type Sink struct {
+	dir      string
+	maxBytes int64
+
+	mu     sync.Mutex
+	f      *os.File
+	size   int64
+	seq    int // next rotation segment number
+	closed bool
+}
+
+// OpenSink creates dir if needed and opens the active segment for
+// appending. maxBytes bounds one segment (<= 0 uses DefaultSinkMaxBytes).
+func OpenSink(dir string, maxBytes int64) (*Sink, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSinkMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace sink: %w", err)
+	}
+	s := &Sink{dir: dir, maxBytes: maxBytes, seq: 1}
+	for _, n := range sinkSegments(dir) {
+		if n >= s.seq {
+			s.seq = n + 1
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(dir, sinkActive), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trace sink: %w", err)
+	}
+	if fi, err := f.Stat(); err == nil {
+		s.size = fi.Size()
+	}
+	s.f = f
+	return s, nil
+}
+
+// Dir returns the sink directory ("" on a nil sink).
+func (s *Sink) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// WriteTrace durably appends one completed span tree. The faults site
+// "trace.append" (key = trace ID) injects append failures; callers treat
+// sink errors as an observability downgrade, never a request failure.
+func (s *Sink) WriteTrace(ctx context.Context, requestID string, t *SpanTree) error {
+	if s == nil || t == nil {
+		return nil
+	}
+	return s.write(ctx, SinkRecord{
+		Kind: "trace", Time: time.Now().UTC(),
+		RequestID: requestID, TraceID: t.TraceID, Trace: t,
+	})
+}
+
+// WriteEvent durably appends one point event with free-form attributes.
+func (s *Sink) WriteEvent(ctx context.Context, event, requestID, traceID string, attrs map[string]any) error {
+	if s == nil {
+		return nil
+	}
+	return s.write(ctx, SinkRecord{
+		Kind: "event", Time: time.Now().UTC(),
+		RequestID: requestID, TraceID: traceID, Event: event, Attrs: attrs,
+	})
+}
+
+// write marshals, rotates if the active segment is full, appends, and
+// fsyncs one record.
+func (s *Sink) write(ctx context.Context, r SinkRecord) error {
+	if err := faults.Fire(ctx, "trace.append", r.TraceID); err != nil {
+		return err
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("trace sink: marshal: %w", err)
+	}
+	b = append(b, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("trace sink: closed")
+	}
+	if s.size > 0 && s.size+int64(len(b)) > s.maxBytes {
+		if err := s.rotate(); err != nil {
+			return err
+		}
+	}
+	n, err := s.f.Write(b)
+	s.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("trace sink: append: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("trace sink: sync: %w", err)
+	}
+	return nil
+}
+
+// rotate seals the active segment under the next segment number and opens
+// a fresh one, pruning the oldest segments beyond the keep bound. Caller
+// holds s.mu.
+func (s *Sink) rotate() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("trace sink: sync: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("trace sink: close: %w", err)
+	}
+	sealed := filepath.Join(s.dir, fmt.Sprintf("trace-%06d.ndjson", s.seq))
+	if err := os.Rename(filepath.Join(s.dir, sinkActive), sealed); err != nil {
+		return fmt.Errorf("trace sink: rotate: %w", err)
+	}
+	s.seq++
+	segs := sinkSegments(s.dir)
+	for len(segs) > sinkKeepSegments {
+		os.Remove(filepath.Join(s.dir, fmt.Sprintf("trace-%06d.ndjson", segs[0])))
+		segs = segs[1:]
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, sinkActive), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("trace sink: %w", err)
+	}
+	s.f, s.size = f, 0
+	return nil
+}
+
+// Close fsyncs and closes the active segment. Idempotent; nil-safe.
+func (s *Sink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// sinkSegments lists the rotated segment numbers in dir, ascending.
+func sinkSegments(dir string) []int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var segs []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "trace-") || !strings.HasSuffix(name, ".ndjson") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "trace-"), ".ndjson"))
+		if err == nil && n > 0 {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs
+}
+
+// sinkMaxLine bounds one sink line during reads; a deep sweep trace runs
+// to a few hundred KiB, so 8 MiB is generous headroom.
+const sinkMaxLine = 8 << 20
+
+// ReadSink replays every record in a sink directory, rotated segments
+// first (oldest to newest) and the active segment last. Unparsable lines
+// — a torn tail after a crash, corruption — are counted in skipped and
+// ignored, mirroring the journal's replay semantics.
+func ReadSink(dir string) (records []SinkRecord, skipped int, err error) {
+	var paths []string
+	for _, n := range sinkSegments(dir) {
+		paths = append(paths, filepath.Join(dir, fmt.Sprintf("trace-%06d.ndjson", n)))
+	}
+	paths = append(paths, filepath.Join(dir, sinkActive))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return records, skipped, fmt.Errorf("trace sink: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 64<<10), sinkMaxLine)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var r SinkRecord
+			if json.Unmarshal(line, &r) != nil || (r.Kind != "trace" && r.Kind != "event") {
+				skipped++
+				continue
+			}
+			records = append(records, r)
+		}
+		// A scanner error (over-long or torn line) truncates this segment's
+		// replay; everything before it is still good.
+		f.Close()
+	}
+	return records, skipped, nil
+}
+
+// Sampler makes head sampling decisions for the sink: Sample reports true
+// for roughly rate of calls, drawing from the process ID source so a
+// seeded SetIDSource makes the decision sequence deterministic. A nil
+// *Sampler never samples.
+type Sampler struct {
+	rate float64
+}
+
+// NewSampler returns a sampler firing at rate (clamped to [0, 1]).
+func NewSampler(rate float64) *Sampler {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Sampler{rate: rate}
+}
+
+// Sample makes one head decision.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.rate <= 0 {
+		return false
+	}
+	if s.rate >= 1 {
+		return true
+	}
+	return float64(randID()>>11)/(1<<53) < s.rate
+}

@@ -44,10 +44,12 @@ const maxChildren = 128
 type Span struct {
 	rec      *Recorder
 	name     string
+	id       string // 16 hex digits, for traceparent propagation
 	start    time.Time
 	duration time.Duration
 	attrs    []Attr
 	children []*Span
+	grafts   []*SpanTree // remote subtrees attached via AttachTree
 	dropped  int
 	ended    bool
 }
@@ -64,7 +66,7 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 		return ctx, nil
 	}
 	r := parent.rec
-	s := &Span{rec: r, name: name, start: time.Now()}
+	s := &Span{rec: r, name: name, id: newSpanID(), start: time.Now()}
 	r.mu.Lock()
 	if len(parent.children) < maxChildren {
 		parent.children = append(parent.children, s)
@@ -124,20 +126,40 @@ type Recorder struct {
 	// for concurrent calls (sweep cells end on worker goroutines).
 	OnEnd func(name string, d time.Duration, attrs []Attr)
 
+	traceID      string // 32 hex digits, shared across process boundaries
+	parentSpanID string // remote parent adopted by NewChildRecorder, or ""
+
 	mu       sync.Mutex
 	root     *Span
 	released bool
 }
 
 // NewRecorder creates a live Recorder whose root span is named name and
-// starts now. While at least one Recorder is live, obs.Start pays the
-// context lookup; Release the recorder when done.
+// starts now, under a fresh trace ID. While at least one Recorder is
+// live, obs.Start pays the context lookup; Release the recorder when done.
 func NewRecorder(name string) *Recorder {
-	r := &Recorder{}
-	r.root = &Span{rec: r, name: name, start: time.Now()}
+	r := &Recorder{traceID: newTraceID()}
+	r.root = &Span{rec: r, name: name, id: newSpanID(), start: time.Now()}
 	activeRecorders.Add(1)
 	return r
 }
+
+// NewChildRecorder creates a live Recorder that continues a remote trace:
+// it adopts the trace ID of the given traceparent header and records the
+// remote span as the root's parent, so the two processes' trees stitch
+// into one trace. A malformed or empty header falls back to a fresh root
+// trace (never an error — tracing must not fail a request).
+func NewChildRecorder(name, traceparent string) *Recorder {
+	r := NewRecorder(name)
+	if tid, sid, ok := ParseTraceparent(traceparent); ok {
+		r.traceID = tid
+		r.parentSpanID = sid
+	}
+	return r
+}
+
+// TraceID returns the recorder's 32-hex-digit trace ID.
+func (r *Recorder) TraceID() string { return r.traceID }
 
 // Install returns a context carrying the recorder's root span; Start calls
 // under it attach children to this recorder.
@@ -146,8 +168,14 @@ func (r *Recorder) Install(ctx context.Context) context.Context {
 }
 
 // Root returns the recorder's root span (for attaching request-level
-// attributes like a request ID).
-func (r *Recorder) Root() *Span { return r.root }
+// attributes like a request ID). A nil recorder yields the nil span, whose
+// methods are all inert — callers can attach attrs unconditionally.
+func (r *Recorder) Root() *Span {
+	if r == nil {
+		return nil
+	}
+	return r.root
+}
 
 // Release ends the root span and decrements the process-wide live-recorder
 // count. Idempotent. The tree remains readable via Tree after Release.
@@ -162,9 +190,31 @@ func (r *Recorder) Release() {
 	}
 }
 
+// AttachTree grafts an externally produced span tree (a worker replica's
+// serialized trace, returned with its cell payload) under this span: the
+// coordinator calls it on the dispatch span so the stitched tree spans
+// both processes. The subtree is retained as-is and appears after the
+// span's own children in snapshots. No-op on nil span or nil tree.
+func (s *Span) AttachTree(t *SpanTree) {
+	if s == nil || t == nil {
+		return
+	}
+	s.rec.mu.Lock()
+	s.grafts = append(s.grafts, t)
+	s.rec.mu.Unlock()
+}
+
 // SpanTree is the exported, JSON-ready snapshot of a span.
 type SpanTree struct {
 	Name string `json:"name"`
+	// TraceID is set on the root span only: the 32-hex-digit trace the
+	// whole tree belongs to, shared across process boundaries.
+	TraceID string `json:"trace_id,omitempty"`
+	// SpanID is this span's 16-hex-digit identity within the trace.
+	SpanID string `json:"span_id,omitempty"`
+	// ParentSpanID is set on the root of a child recorder's tree: the
+	// remote span (in another process) this tree hangs under.
+	ParentSpanID string `json:"parent_span_id,omitempty"`
 	// DurationUS is the span's wall time in microseconds; for a span still
 	// open when the snapshot was taken, the time elapsed so far.
 	DurationUS int64          `json:"duration_us"`
@@ -180,7 +230,10 @@ type SpanTree struct {
 func (r *Recorder) Tree() *SpanTree {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return snapshot(r.root)
+	t := snapshot(r.root)
+	t.TraceID = r.traceID
+	t.ParentSpanID = r.parentSpanID
+	return t
 }
 
 // snapshot converts a span subtree; caller holds the recorder lock.
@@ -191,6 +244,7 @@ func snapshot(s *Span) *SpanTree {
 	}
 	t := &SpanTree{
 		Name:       s.name,
+		SpanID:     s.id,
 		DurationUS: d.Microseconds(),
 		Dropped:    s.dropped,
 	}
@@ -203,5 +257,6 @@ func snapshot(s *Span) *SpanTree {
 	for _, c := range s.children {
 		t.Children = append(t.Children, snapshot(c))
 	}
+	t.Children = append(t.Children, s.grafts...)
 	return t
 }

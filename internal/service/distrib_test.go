@@ -396,17 +396,25 @@ func TestWorkerCellEndpoint(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("worker cell: %d %s", resp.StatusCode, body)
 	}
-	var cell struct {
-		Program  string
-		ConfigID string
-		TauOrig  int64
-		TauOpt   int64
+	var env struct {
+		Cell struct {
+			Program  string
+			ConfigID string
+			TauOrig  int64
+			TauOpt   int64
+		} `json:"cell"`
+		Trace json.RawMessage `json:"trace"`
 	}
-	if err := json.Unmarshal(body, &cell); err != nil {
+	if err := json.Unmarshal(body, &env); err != nil {
 		t.Fatal(err)
 	}
+	cell := env.Cell
 	if cell.Program != "fibcall" || cell.ConfigID != "k1" || cell.TauOrig <= 0 {
 		t.Fatalf("cell = %+v, want a measured fibcall/k1", cell)
+	}
+	// No traceparent header on the request: the envelope ships no trace.
+	if len(env.Trace) != 0 {
+		t.Errorf("untraced worker cell returned trace %s", env.Trace)
 	}
 
 	// Errors keep the analyze-path status mapping.

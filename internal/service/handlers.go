@@ -30,6 +30,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	if s.cfg.EnableWorker {
 		mux.HandleFunc("POST /v1/worker/cell", s.handleWorkerCell)
 	}
@@ -283,11 +284,36 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// With a trace sink configured, every plain request records spans too;
+	// whether the tree is *persisted* is decided at the tail — failures and
+	// slow requests always, the rest through the head sampler — so the rare
+	// bad request is kept without paying disk for the bulk (DESIGN.md §15).
+	// The flight body runs on the server's context, so only handler-level
+	// outcomes land in this tree; ?trace=1 remains the deep-pipeline view.
+	var rec *obs.Recorder
+	reqStart := time.Now()
+	if s.cfg.TraceSink != nil {
+		rec = obs.NewRecorder("analyze")
+		rec.Root().Attr("request_id", requestID(r.Context()))
+		rec.Root().Attr("program", uc.bench.Name)
+		ctx = rec.Install(ctx)
+	}
+	finishTrace := func(failed bool) {
+		if rec == nil {
+			return
+		}
+		rec.Release()
+		keep := failed || time.Since(reqStart) >= slowTraceThreshold
+		s.persistTrace(requestID(r.Context()), rec.Tree(), keep)
+	}
+
 	// Plain requests go cache → singleflight → pipeline. The cache read
 	// here is the fast path; the flight leader re-checks it, so a result
 	// published between the two reads is still served without execution.
 	key := s.keyFor(uc)
 	if v, ok := s.cache.get(ctx, key); ok {
+		rec.Root().Attr("cached", true)
+		finishTrace(false)
 		s.writeJSON(w, http.StatusOK, analyzeResponse{Result: v, Cached: true})
 		return
 	}
@@ -308,9 +334,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.metrics.countFlightMerged()
 	}
 	if err != nil {
+		rec.Root().Attr("error", err.Error())
+		finishTrace(true)
 		s.analyzeErr(w, err)
 		return
 	}
+	rec.Root().Attr("coalesced", joined)
+	finishTrace(false)
 	s.writeJSON(w, http.StatusOK, analyzeResponse{Result: res, Coalesced: joined})
 }
 
@@ -334,11 +364,17 @@ func (s *Server) handleAnalyzeTraced(ctx context.Context, w http.ResponseWriter,
 		return aerr
 	})
 	if perr != nil {
+		rec.Root().Attr("error", perr.Error())
+		rec.Release()
+		// An explicitly traced request is always persisted, success or not.
+		s.persistTrace(requestID(r.Context()), rec.Tree(), true)
 		s.analyzeErr(w, perr)
 		return
 	}
 	rec.Release()
-	resp := analyzeResponse{Result: res, Cached: cached, Trace: rec.Tree(), Explain: decisions}
+	tree := rec.Tree()
+	s.persistTrace(requestID(r.Context()), tree, true)
+	resp := analyzeResponse{Result: res, Cached: cached, Trace: tree, Explain: decisions}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -417,6 +453,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.tooMany(w, "job queue full (%d unfinished jobs); retry later", s.cfg.MaxQueuedJobs)
 		return
 	}
+	// ?trace=1 records the whole sweep under one per-job recorder; the
+	// stitched tree (local spans plus grafted remote worker trees) rides
+	// the final job status and the trace sink.
+	if r.URL.Query().Get("trace") == "1" {
+		j.traced = true
+	}
 	s.removeJournals(pruned)
 	s.journalSubmit(j)
 	s.startSweep(j)
@@ -424,6 +466,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		"job_id":     j.id,
 		"cells":      len(cases),
 		"status_url": "/v1/jobs/" + j.id,
+		"events_url": "/v1/jobs/" + j.id + "/events",
 	})
 }
 
@@ -442,4 +485,65 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleJobEvents streams one job's progress as NDJSON: the buffered event
+// history first (a late subscriber sees the whole story so far), then live
+// events as cells start and finish, closed by the terminal job_finished
+// line. The stream ends when the job reaches a terminal state or the
+// client disconnects; polling /v1/jobs/{id} stays the cheap alternative.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok, expired := s.jobs.get(id)
+	if !ok {
+		if expired {
+			s.writeError(w, http.StatusNotFound, "job %q expired", id)
+			return
+		}
+		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+
+	// Subscribe before writing anything so no event can fall between the
+	// history snapshot and the live channel.
+	past, ch := j.subscribe()
+	if ch != nil {
+		defer j.unsubscribe(ch)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	write := func(ev jobEvent) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for _, ev := range past {
+		if !write(ev) {
+			return
+		}
+	}
+	if ch == nil {
+		// Already terminal: the history replay ended with job_finished.
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if !write(ev) {
+				return
+			}
+		}
+	}
 }

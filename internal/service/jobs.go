@@ -12,6 +12,7 @@ import (
 	"ucp/internal/cache"
 	"ucp/internal/interrupt"
 	"ucp/internal/journal"
+	"ucp/internal/obs"
 	"ucp/internal/pool"
 )
 
@@ -64,6 +65,10 @@ type JobStatus struct {
 	// Results lists one entry per cell, in deterministic (program,
 	// config, technology) request order; present only when State is done.
 	Results []Result `json:"results,omitempty"`
+	// Trace is the job's stitched span tree — coordinator spans with every
+	// remote worker subtree grafted under its dispatch span — present once
+	// the job finished and only when the sweep was submitted with ?trace=1.
+	Trace *obs.SpanTree `json:"trace,omitempty"`
 }
 
 // maxCellErrors bounds the per-job failure log so a pathological sweep
@@ -98,6 +103,121 @@ type job struct {
 	// pre[i] is its result — it is answered with zero pipeline runs.
 	have []bool
 	pre  []Result
+	// traced marks a ?trace=1 submission: startSweep installs a per-job
+	// recorder and the finished tree lands in trace (and the trace sink).
+	traced bool
+	trace  *obs.SpanTree
+	// events is the job's bounded progress log, replayed to every
+	// /v1/jobs/{id}/events subscriber on connect; subs holds the live
+	// subscriber channels, closed when the job reaches a terminal state.
+	events        []jobEvent
+	eventsDropped int
+	subs          map[chan jobEvent]struct{}
+	// durSumMS/durCount estimate the mean cell duration for the ETA in
+	// progress events; resume pre-seeds them from the journal's recorded
+	// per-cell durations, so a restarted job's first ETA is already sane.
+	durSumMS int64
+	durCount int
+}
+
+// jobEvent is one NDJSON line of the GET /v1/jobs/{id}/events stream.
+// Event is one of cells_resumed, cell_started, cell_finished, cell_failed,
+// or job_finished (the terminal line; State carries "done" or "failed").
+// Done/Remaining snapshot overall progress at emission time; EtaMS is the
+// naive remaining×mean-duration forecast, present once at least one cell
+// duration (live or journal-seeded) is known.
+type jobEvent struct {
+	Event     string    `json:"event"`
+	Time      time.Time `json:"time"`
+	Cell      *int      `json:"cell,omitempty"`
+	Program   string    `json:"program,omitempty"`
+	Config    string    `json:"config,omitempty"`
+	Tech      string    `json:"tech,omitempty"`
+	Cached    bool      `json:"cached,omitempty"`
+	DurMS     int64     `json:"dur_ms,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Done      int       `json:"done"`
+	Failed    int       `json:"failed,omitempty"`
+	Remaining int       `json:"remaining"`
+	EtaMS     int64     `json:"eta_ms,omitempty"`
+	State     string    `json:"state,omitempty"`
+}
+
+// maxJobEvents bounds the per-job event buffer: two events per cell of the
+// largest admissible sweep plus lifecycle lines. Beyond it, new events
+// still reach live subscribers but are dropped from the replay buffer.
+const maxJobEvents = 2*maxSweepCells + 16
+
+// eventChanBuffer is each subscriber's buffer; a consumer that falls this
+// far behind loses events (the connect-time replay and the terminal event
+// keep it coherent) rather than blocking the sweep.
+const eventChanBuffer = 256
+
+// publishLocked timestamps ev, appends it to the bounded event buffer, and
+// offers it to every live subscriber without blocking. Callers hold j.mu.
+func (j *job) publishLocked(ev jobEvent) {
+	ev.Time = time.Now().UTC()
+	if len(j.events) < maxJobEvents {
+		j.events = append(j.events, ev)
+	} else {
+		j.eventsDropped++
+	}
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// closeSubsLocked ends every live event stream; called once, with the
+// terminal event already published. Callers hold j.mu.
+func (j *job) closeSubsLocked() {
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+}
+
+// subscribe returns a snapshot of the job's event history and, while the
+// job is live, a channel carrying subsequent events. The channel is closed
+// when the job reaches a terminal state; it is nil when the job is already
+// terminal (the snapshot then ends with the job_finished event).
+func (j *job) subscribe() (past []jobEvent, ch chan jobEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	past = append([]jobEvent(nil), j.events...)
+	if j.state == jobDone || j.state == jobFailed {
+		return past, nil
+	}
+	ch = make(chan jobEvent, eventChanBuffer)
+	if j.subs == nil {
+		j.subs = map[chan jobEvent]struct{}{}
+	}
+	j.subs[ch] = struct{}{}
+	return past, ch
+}
+
+// unsubscribe detaches one event stream (client disconnect). The channel
+// is not closed here — closeSubsLocked owns that — only forgotten.
+func (j *job) unsubscribe(ch chan jobEvent) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// progressLocked snapshots done/failed/remaining and the ETA for an event.
+// Callers hold j.mu.
+func (j *job) progressLocked() (done, failed, remaining int, etaMS int64) {
+	done, failed = j.done, j.failed
+	remaining = len(j.cases) - done - failed
+	if remaining < 0 {
+		remaining = 0
+	}
+	if j.durCount > 0 {
+		etaMS = int64(remaining) * (j.durSumMS / int64(j.durCount))
+	}
+	return done, failed, remaining, etaMS
 }
 
 // status snapshots the job for the wire. Results are shared read-only once
@@ -120,6 +240,9 @@ func (j *job) status() JobStatus {
 	}
 	if j.state == jobDone {
 		st.Results = j.results
+	}
+	if j.state == jobDone || j.state == jobFailed {
+		st.Trace = j.trace
 	}
 	return st
 }
@@ -310,62 +433,138 @@ func (s *Server) startSweep(j *job) {
 		defer s.wg.Done()
 		defer cancel()
 
+		// A ?trace=1 job carries its own recorder for the whole sweep: every
+		// cell's spans — including dist dispatch attempts and the grafted
+		// remote worker trees — accumulate into one tree under the job root.
+		var rec *obs.Recorder
 		j.mu.Lock()
+		if j.traced {
+			rec = obs.NewRecorder("sweep")
+			rec.Root().Attr("job", j.id)
+			rec.Root().Attr("cells", len(j.cases))
+			ctx = rec.Install(ctx)
+		}
 		j.state = jobRunning
 		results := make([]Result, len(j.cases))
 		// Cells the journal already answered (resume): copy their results
 		// in and never touch the pipeline for them again.
+		replayedCells := 0
 		for i, ok := range j.have {
 			if ok {
 				results[i] = j.pre[i]
+				replayedCells++
 			}
 		}
+		if replayedCells > 0 {
+			_, _, remaining, eta := j.progressLocked()
+			j.publishLocked(jobEvent{
+				Event: "cells_resumed", Done: j.done, Failed: j.failed,
+				Remaining: remaining, EtaMS: eta,
+			})
+		}
 		j.mu.Unlock()
+		s.sinkJobEvent(rec, "job_started", j.id, map[string]any{
+			"cells": len(j.cases), "replayed": replayedCells,
+		})
 
 		err := s.pool.ForEach(ctx, len(j.cases), func(ctx context.Context, i int) error {
 			j.mu.Lock()
 			replayed := i < len(j.have) && j.have[i]
+			if !replayed {
+				uc := j.cases[i]
+				done, failed, remaining, eta := j.progressLocked()
+				j.publishLocked(jobEvent{
+					Event: "cell_started", Cell: &i,
+					Program: uc.bench.Name, Config: cache.ConfigID(uc.cfgIdx), Tech: uc.tech.String(),
+					Done: done, Failed: failed, Remaining: remaining, EtaMS: eta,
+				})
+			}
 			j.mu.Unlock()
 			if replayed {
 				return nil
 			}
 			uc := j.cases[i]
+			ctx, span := obs.Start(ctx, "sweep.cell")
+			span.Attr("cell", i)
+			span.Attr("program", uc.bench.Name)
+			span.Attr("config", cache.ConfigID(uc.cfgIdx))
+			span.Attr("tech", uc.tech.String())
+			defer span.End()
 			var (
 				res    Result
 				cached bool
 			)
+			start := time.Now()
 			aerr := pool.Recover(func() error {
 				var e error
 				res, cached, e = s.analyze(ctx, uc)
 				return e
 			})
+			dur := time.Since(start)
 			if aerr != nil {
 				if interrupt.Is(aerr) {
 					s.metrics.countCellCanceled()
 					return interrupt.Wrap(aerr)
 				}
+				span.Attr("error", sanitizeCellError(aerr))
 				j.failCell(uc, aerr)
+				j.mu.Lock()
+				done, failed, remaining, eta := j.progressLocked()
+				j.publishLocked(jobEvent{
+					Event: "cell_failed", Cell: &i,
+					Program: uc.bench.Name, Config: cache.ConfigID(uc.cfgIdx), Tech: uc.tech.String(),
+					DurMS: dur.Milliseconds(), Error: sanitizeCellError(aerr),
+					Done: done, Failed: failed, Remaining: remaining, EtaMS: eta,
+				})
+				j.mu.Unlock()
 				s.journalCellFailed(ctx, j, i, aerr)
 				return nil
 			}
+			span.Attr("cached", cached)
 			results[i] = res
 			j.mu.Lock()
 			j.done++
 			if cached {
 				j.cacheHits++
 			}
+			j.durSumMS += dur.Milliseconds()
+			j.durCount++
+			done, failed, remaining, eta := j.progressLocked()
+			j.publishLocked(jobEvent{
+				Event: "cell_finished", Cell: &i,
+				Program: uc.bench.Name, Config: cache.ConfigID(uc.cfgIdx), Tech: uc.tech.String(),
+				Cached: cached, DurMS: dur.Milliseconds(),
+				Done: done, Failed: failed, Remaining: remaining, EtaMS: eta,
+			})
 			j.mu.Unlock()
-			s.journalCell(ctx, j, i, cached, res)
+			s.journalCell(ctx, j, i, cached, dur, res)
 			return nil
 		})
 
+		// The recorder closes before the terminal state is published so a
+		// client that sees state=done also sees the finished trace.
+		var tree *obs.SpanTree
+		if rec != nil {
+			rec.Release()
+			tree = rec.Tree()
+		}
+
 		j.mu.Lock()
 		j.finished = time.Now().UTC()
+		j.trace = tree
 		jw := j.jw
 		if err != nil {
 			j.state = jobFailed
 			j.errMsg = err.Error()
+			done, failed, remaining, _ := j.progressLocked()
+			j.publishLocked(jobEvent{
+				Event: "job_finished", State: string(jobFailed), Error: j.errMsg,
+				Done: done, Failed: failed, Remaining: remaining,
+			})
+			j.closeSubsLocked()
 			j.mu.Unlock()
+			s.persistTrace(j.id, tree, true)
+			s.sinkJobEvent(rec, "job_finished", j.id, map[string]any{"state": string(jobFailed), "error": err.Error()})
 			// An interrupted job (drain, shutdown, job timeout) closes its
 			// journal WITHOUT a terminal record: the unfinished journal is
 			// exactly the signal the next process resumes from.
@@ -376,7 +575,17 @@ func (s *Server) startSweep(j *job) {
 		}
 		j.state = jobDone
 		j.results = results
+		done, failed, remaining, _ := j.progressLocked()
+		j.publishLocked(jobEvent{
+			Event: "job_finished", State: string(jobDone),
+			Done: done, Failed: failed, Remaining: remaining,
+		})
+		j.closeSubsLocked()
 		j.mu.Unlock()
+		s.persistTrace(j.id, tree, true)
+		s.sinkJobEvent(rec, "job_finished", j.id, map[string]any{
+			"state": string(jobDone), "done": done, "failed": failed,
+		})
 		if jw != nil {
 			// The terminal record makes the completion durable; from here a
 			// restart replays the job as finished, results intact.
@@ -387,10 +596,27 @@ func (s *Server) startSweep(j *job) {
 	}()
 }
 
+// sinkJobEvent appends one job lifecycle event to the trace sink (no-op
+// without one). rec, when non-nil, supplies the trace ID linking the event
+// to the job's trace.
+func (s *Server) sinkJobEvent(rec *obs.Recorder, event, jobID string, attrs map[string]any) {
+	sink := s.cfg.TraceSink
+	if sink == nil {
+		return
+	}
+	traceID := ""
+	if rec != nil {
+		traceID = rec.TraceID()
+	}
+	if err := sink.WriteEvent(context.Background(), event, jobID, traceID, attrs); err != nil {
+		s.log.Warn("trace sink event write failed", "job", jobID, "event", event, "err", err)
+	}
+}
+
 // journalCell durably records one completed cell. Journal failures are a
 // durability downgrade (the cell would re-execute after a crash), never a
 // reason to fail the cell — mirroring the result store's put policy.
-func (s *Server) journalCell(ctx context.Context, j *job, i int, cached bool, res Result) {
+func (s *Server) journalCell(ctx context.Context, j *job, i int, cached bool, dur time.Duration, res Result) {
 	j.mu.Lock()
 	jw := j.jw
 	j.mu.Unlock()
@@ -399,7 +625,7 @@ func (s *Server) journalCell(ctx context.Context, j *job, i int, cached bool, re
 	}
 	payload, err := json.Marshal(res)
 	if err == nil {
-		err = jw.Cell(ctx, i, cached, payload)
+		err = jw.Cell(ctx, i, cached, dur, payload)
 	}
 	if err != nil && !interrupt.Is(err) {
 		s.log.Warn("journal cell append failed", "job", j.id, "cell", i, "err", err)

@@ -91,6 +91,9 @@ func (s *Server) recoverJobs() {
 			j.state = jobFailed
 			j.errMsg = rj.Error
 			j.finished = rj.Finished
+			j.publishLocked(jobEvent{
+				Event: "job_finished", State: string(jobFailed), Error: j.errMsg,
+			})
 		default:
 			s.prepareResume(j, rj)
 		}
@@ -134,6 +137,13 @@ func (s *Server) adoptDone(j *job, rj journal.Job) {
 			j.cellErrors = append(j.cellErrors, msg)
 		}
 	}
+	// A replayed-finished job still answers its event stream coherently:
+	// the history is gone with the old process, but the terminal line is
+	// reconstructible. No lock needed — the job is not yet published.
+	j.publishLocked(jobEvent{
+		Event: "job_finished", State: string(jobDone),
+		Done: j.done, Failed: j.failed,
+	})
 	s.log.Info("journal replayed finished job", "job", j.id, "cells", j.done)
 }
 
@@ -157,6 +167,13 @@ func (s *Server) prepareResume(j *job, rj journal.Job) {
 		j.done++
 		if c.Cached {
 			j.cacheHits++
+		}
+		// Journaled durations seed the ETA estimator, so the resumed job's
+		// first progress events forecast from real history instead of
+		// starting blind.
+		if c.DurMS > 0 {
+			j.durSumMS += c.DurMS
+			j.durCount++
 		}
 		s.metrics.countReplayCell()
 	}
@@ -184,6 +201,9 @@ func (s *Server) adoptUnresolvable(rj journal.Job, cause error) {
 		errMsg:   fmt.Sprintf("journal replay: %v", cause),
 		finished: time.Now().UTC(),
 	}
+	j.publishLocked(jobEvent{
+		Event: "job_finished", State: string(jobFailed), Error: j.errMsg,
+	})
 	s.log.Warn("journaled job no longer resolvable", "job", rj.ID, "err", cause)
 	if rj.State == "" {
 		if w, err := s.cfg.Journal.Resume(context.Background(), rj.ID); err == nil {

@@ -13,6 +13,7 @@
 //	POST /v1/analyze    one use case, synchronous
 //	POST /v1/sweep      a use-case matrix, asynchronous (returns a job ID)
 //	GET  /v1/jobs/{id}  job status and, when done, the ordered results
+//	GET  /v1/jobs/{id}/events  live NDJSON progress stream for one job
 //	GET  /v1/benchmarks the Mälardalen suite
 //	GET  /v1/configs    the Table 2 configurations
 //	GET  /healthz       liveness
@@ -90,6 +91,17 @@ type Config struct {
 	// front replica that caches, dedups, and admits, while the heavy
 	// analysis runs on worker replicas (see internal/dist.Coordinator).
 	CellExec experiment.CellExec
+	// TraceSink, when non-nil, durably records traces and job lifecycle
+	// events as NDJSON (obs.OpenSink): every request records spans, and the
+	// tree is persisted when the request failed, ran slow, asked for
+	// ?trace=1, or won the TraceSample coin flip — tail-based keeping on a
+	// head-recorded trace. The Server does not close the sink; its owner
+	// (cmd/ucp-serve, tests) does, after Close.
+	TraceSink *obs.Sink
+	// TraceSample is the sampling rate in [0,1] for persisting traces of
+	// ordinary successful requests to TraceSink. Zero keeps only failed,
+	// slow, and explicitly traced requests.
+	TraceSample float64
 	// Logger receives one structured line per request (nil = slog default).
 	Logger *slog.Logger
 }
@@ -107,6 +119,7 @@ type Server struct {
 	mux     *http.ServeMux
 	log     *slog.Logger
 	reqID   atomic.Int64
+	sampler *obs.Sampler
 
 	// benches indexes the suite by name; the contained Programs are
 	// treated as read-only and shared across workers (the optimizer
@@ -154,6 +167,7 @@ func New(cfg Config) *Server {
 		reg:     reg,
 		metrics: newMetrics(reg),
 		log:     cfg.Logger,
+		sampler: obs.NewSampler(cfg.TraceSample),
 		benches: map[string]malardalen.Benchmark{},
 	}
 	s.registerPulls()
@@ -242,27 +256,84 @@ func requestID(ctx context.Context) string {
 	return id
 }
 
+// maxRequestIDLen bounds adopted X-Request-Id headers; anything longer (or
+// carrying non-printable bytes) is discarded and the request gets a minted
+// ID, so a hostile client cannot inject log lines or bloat span attrs.
+const maxRequestIDLen = 128
+
+// sanitizeRequestID validates an incoming X-Request-Id header. It returns
+// "" (mint a fresh one) unless the header is non-empty, bounded, and made
+// of printable non-space ASCII.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return ""
+		}
+	}
+	return id
+}
+
+// slowTraceThreshold is the tail-based keep rule for request traces: a
+// request at least this slow is persisted to the trace sink regardless of
+// the sampling decision — the slow outliers are exactly the traces an
+// operator goes looking for.
+const slowTraceThreshold = 2 * time.Second
+
+// persistTrace writes one finished request's span tree to the configured
+// trace sink. keep bypasses the head sampler (failed, slow, or explicitly
+// traced requests are always persisted); otherwise the sampler decides.
+// Sink failures degrade observability, never the request.
+func (s *Server) persistTrace(reqID string, tree *obs.SpanTree, keep bool) {
+	sink := s.cfg.TraceSink
+	if sink == nil || tree == nil {
+		return
+	}
+	if !keep && !s.sampler.Sample() {
+		return
+	}
+	// The request context may already be cancelled (client gone, deadline
+	// hit) — exactly the traces worth keeping — so the write runs on a
+	// background context.
+	if err := sink.WriteTrace(context.Background(), reqID, tree); err != nil {
+		s.log.Warn("trace sink write failed", "trace_id", tree.TraceID, "err", err)
+	}
+}
+
 // logging assigns each request an ID, emits one structured line per
-// request, and feeds the per-route request counter. The ID rides the
-// request context (handlers attach it to trace spans) and is echoed in the
-// X-Request-Id response header so a client can quote it when reporting a
-// failure.
+// request, and feeds the per-route request counter. An ID arriving in the
+// X-Request-Id request header is adopted verbatim — a coordinator forwards
+// its own ID to workers, so one grep correlates a request across every
+// replica's log — otherwise a fresh one is minted. The ID rides the
+// request context (handlers attach it to trace spans, internal/dist
+// forwards it downstream) and is echoed in the X-Request-Id response
+// header so a client can quote it when reporting a failure.
 func (s *Server) logging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := fmt.Sprintf("req-%06d", s.reqID.Add(1))
+		id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if id == "" {
+			id = fmt.Sprintf("req-%06d", s.reqID.Add(1))
+		}
 		w.Header().Set("X-Request-Id", id)
-		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID, id)
+		r = r.WithContext(obs.WithRequestID(ctx, id))
 		rec := &statusRecorder{ResponseWriter: w}
 		next.ServeHTTP(rec, r)
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
-		// Normalize the one parameterized route so /metrics label
-		// cardinality stays bounded.
+		// Normalize the parameterized routes so /metrics label cardinality
+		// stays bounded.
 		path := r.URL.Path
 		if strings.HasPrefix(path, "/v1/jobs/") {
-			path = "/v1/jobs/{id}"
+			if strings.HasSuffix(path, "/events") {
+				path = "/v1/jobs/{id}/events"
+			} else {
+				path = "/v1/jobs/{id}"
+			}
 		}
 		s.metrics.countRequest(r.Method + " " + path)
 		s.log.Info("request",

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -133,6 +134,11 @@ func TestMetricsFamiliesGolden(t *testing.T) {
 		"# HELP ucp_jobs_rejected_total Sweep submissions refused by admission control (429).\n# TYPE ucp_jobs_rejected_total counter",
 		"# HELP ucp_cells_canceled_total Sweep cells stopped by cancellation or deadline.\n# TYPE ucp_cells_canceled_total counter",
 		"# HELP ucp_analysis_latency_seconds Latency of executed analyses (recent window).\n# TYPE ucp_analysis_latency_seconds summary",
+		"# HELP ucp_go_goroutines Live goroutines in the process.\n# TYPE ucp_go_goroutines gauge",
+		"# HELP ucp_go_heap_bytes Heap bytes currently allocated and in use.\n# TYPE ucp_go_heap_bytes gauge",
+		"# HELP ucp_go_gc_pause_seconds Cumulative stop-the-world GC pause time in seconds.\n# TYPE ucp_go_gc_pause_seconds gauge",
+		"# HELP ucp_build_info Build metadata; the value is always 1.\n# TYPE ucp_build_info gauge",
+		"# HELP ucp_phase_seconds Wall-clock pipeline phase duration per cell, by phase, in seconds.\n# TYPE ucp_phase_seconds summary",
 	} {
 		if !strings.Contains(m, want) {
 			t.Errorf("exposition missing family header:\n%s", want)
@@ -149,6 +155,10 @@ func TestMetricsFamiliesGolden(t *testing.T) {
 		`ucp_jobs{state="failed"} 0`,
 		`ucp_analysis_latency_seconds{quantile="0.5"} `,
 		`ucp_analysis_latency_seconds{quantile="0.99"} `,
+		`ucp_go_goroutines `,
+		`ucp_build_info{go_version="` + runtime.Version() + `"} 1`,
+		`ucp_phase_seconds{phase="optimize",quantile="0.5"} `,
+		`ucp_phase_seconds_count{phase="optimize"} `,
 	} {
 		if !strings.Contains(m, want) {
 			t.Errorf("exposition missing sample %q", want)

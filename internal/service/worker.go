@@ -25,6 +25,16 @@ type workerCellRequest struct {
 	Explain     bool `json:"explain,omitempty"`
 }
 
+// workerCellResponse is the worker→coordinator envelope. Trace is present
+// only when the request carried a traceparent header: the worker's span
+// tree, rooted in the remote trace context, which the coordinator grafts
+// under its dispatch span so one tree spans both processes. It mirrors
+// internal/dist's cellResponse — the two sides of the same wire format.
+type workerCellResponse struct {
+	Cell  experiment.Cell `json:"cell"`
+	Trace *obs.SpanTree   `json:"trace,omitempty"`
+}
+
 // handleWorkerCell executes one cell in this process and returns the full
 // experiment.Cell as JSON. It is the distributed execution primitive: no
 // result caching (the coordinator owns the cache tiers), no singleflight
@@ -46,18 +56,45 @@ func (s *Server) handleWorkerCell(w http.ResponseWriter, r *http.Request) {
 		s.resolveErr(w, err)
 		return
 	}
+	reqID := requestID(r.Context())
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AnalyzeTimeout)
 	defer cancel()
+
+	// A dispatch carrying a traceparent header joins the coordinator's
+	// trace: this process records its spans under the remote span ID and
+	// ships the finished tree back in the response envelope. finish closes
+	// the recorder exactly once, persists the worker-side tree to the local
+	// sink (always — the coordinator decided this request is traced), and
+	// returns the tree for the envelope.
+	var rec *obs.Recorder
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		rec = obs.NewChildRecorder("worker", tp)
+		rec.Root().Attr("request_id", reqID)
+		ctx = rec.Install(ctx)
+	}
+	finish := func() *obs.SpanTree {
+		if rec == nil {
+			return nil
+		}
+		rec.Release()
+		tree := rec.Tree()
+		rec = nil
+		s.persistTrace(reqID, tree, true)
+		return tree
+	}
+	defer finish()
+
 	ctx, span := obs.Start(ctx, "worker.cell")
 	span.Attr("program", uc.bench.Name)
 	span.Attr("config", cache.ConfigID(uc.cfgIdx))
-	defer span.End()
 
 	// The fault site for distributed acceptance tests: UCP_FAULTS rules at
 	// worker.cell can delay, fail, or kill this replica mid-sweep so the
 	// coordinator's retry and failover paths get exercised for real.
 	if err := faults.Fire(ctx, "worker.cell",
 		fmt.Sprintf("%s/%s/%s", uc.bench.Name, cache.ConfigID(uc.cfgIdx), uc.tech)); err != nil {
+		span.Attr("error", err.Error())
+		span.End()
 		s.analyzeErr(w, err)
 		return
 	}
@@ -76,11 +113,24 @@ func (s *Server) handleWorkerCell(w http.ResponseWriter, r *http.Request) {
 		})
 		return aerr
 	})
-	s.metrics.observeAnalysis(time.Since(start), perr == nil)
+	elapsed := time.Since(start)
+	s.metrics.observeAnalysis(elapsed, perr == nil)
 	s.metrics.countPolicy(uc.cfg.Policy.String())
+	s.log.Info("worker cell",
+		"request_id", reqID,
+		"program", uc.bench.Name,
+		"config", cache.ConfigID(uc.cfgIdx),
+		"tech", uc.tech.String(),
+		"duration_ms", elapsed.Milliseconds(),
+		"ok", perr == nil,
+	)
 	if perr != nil {
+		span.Attr("error", perr.Error())
+		span.End()
 		s.analyzeErr(w, perr)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, cell)
+	span.Attr("inserted", cell.Inserted)
+	span.End()
+	s.writeJSON(w, http.StatusOK, workerCellResponse{Cell: cell, Trace: finish()})
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the analysis micro-benchmarks with -benchmem and records name,
-# ns/op, and allocs/op in BENCH_PR8.json so the performance trajectory is
+# ns/op, and allocs/op in BENCH_PR10.json so the performance trajectory is
 # tracked in-repo. BenchmarkFigure3Policy runs the Figure 3 sub-sweep once
 # per replacement policy (lru, fifo, plru), so the JSON carries one row per
 # policy; BenchmarkHierarchyFrontier runs the same sub-sweep with an L2
@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
 PATTERN="${PATTERN:-^(BenchmarkAnalyzeXFull|BenchmarkAnalyzeXIncremental|BenchmarkStateClone|BenchmarkStateJoin|BenchmarkFigure3|BenchmarkFigure3Policy|BenchmarkHierarchyFrontier)$}"
-OUT="${OUT:-BENCH_PR8.json}"
+OUT="${OUT:-BENCH_PR10.json}"
 
 raw=$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count="$COUNT" .)
 echo "$raw"
